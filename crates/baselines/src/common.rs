@@ -1,0 +1,45 @@
+//! The simulator protocol shared by qTask and the baselines.
+
+use qtask_circuit::{CircuitError, GateId, NetId};
+use qtask_gates::GateKind;
+use qtask_num::Complex64;
+
+/// A state-vector simulator driven by the benchmark protocol: circuit
+/// modifiers followed by update calls (incremental for qTask, full
+/// re-simulation for the baselines), then state queries.
+pub trait Simulator {
+    /// Display name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of qubits.
+    fn num_qubits(&self) -> u8;
+
+    /// Appends an empty net.
+    fn push_net(&mut self) -> NetId;
+
+    /// Inserts a gate into a net.
+    fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError>;
+
+    /// Removes a gate.
+    fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError>;
+
+    /// Removes a net and all its gates.
+    fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError>;
+
+    /// Brings the state up to date with the circuit.
+    fn update_state(&mut self);
+
+    /// The amplitude of basis state `idx` (after `update_state`).
+    fn amplitude(&self, idx: usize) -> Complex64;
+
+    /// The full state vector (after `update_state`).
+    fn state_vec(&self) -> Vec<Complex64>;
+
+    /// Gate count (diagnostics).
+    fn num_gates(&self) -> usize;
+}

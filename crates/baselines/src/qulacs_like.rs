@@ -1,0 +1,228 @@
+//! `QulacsLike`: a fast full re-simulation baseline.
+//!
+//! Models what the paper's Qulacs comparison relies on: an optimized flat
+//! state vector with specialized kernels per gate class, multi-threaded
+//! with a synchronization barrier *between* gates (§IV-D contrasts
+//! qTask's whole-graph scheduling with Qulacs "synchronizing work between
+//! levels"). Every `update_state` re-simulates from |0…0⟩: no
+//! incrementality, exactly like the real tool.
+
+use crate::common::Simulator;
+use qtask_circuit::{Circuit, CircuitError, GateId, NetId};
+use qtask_gates::GateKind;
+use qtask_num::{vecops, Complex64, Mat2};
+use qtask_partition::kernels;
+use qtask_partition::{lower_gate, LinearOp, LoweredGate};
+use qtask_taskflow::{Executor, Taskflow};
+use qtask_util::DisjointSlice;
+use std::sync::Arc;
+
+/// Minimum items per parallel chunk; below this the per-task overhead
+/// dominates and the gate is applied serially.
+const MIN_PAR_ITEMS: u64 = 4096;
+
+/// A Qulacs-style baseline: specialized kernels, per-gate parallel-for
+/// with inter-gate barriers, full re-simulation per update.
+pub struct QulacsLike {
+    circuit: Circuit,
+    state: Vec<Complex64>,
+    executor: Arc<Executor>,
+}
+
+impl QulacsLike {
+    /// Creates a baseline with its own executor.
+    pub fn new(num_qubits: u8, num_threads: usize) -> QulacsLike {
+        QulacsLike::with_executor(num_qubits, Arc::new(Executor::new(num_threads)))
+    }
+
+    /// Creates a baseline sharing an executor.
+    pub fn with_executor(num_qubits: u8, executor: Arc<Executor>) -> QulacsLike {
+        QulacsLike {
+            circuit: Circuit::new(num_qubits),
+            state: vecops::ket_zero(num_qubits as usize),
+            executor,
+        }
+    }
+
+    /// Read access to the wrapped circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    fn apply_gate_parallel(&mut self, kind: GateKind, controls: u64, targets: &[u8]) {
+        let n = self.num_qubits();
+        let threads = self.executor.num_threads() as u64;
+        match lower_gate(kind, controls, targets) {
+            LoweredGate::Identity => {}
+            LoweredGate::Linear(op) => {
+                let total = op.pattern(n).num_items();
+                let chunk = chunk_size(total, threads);
+                if chunk >= total {
+                    kernels::apply_linear(&op, n, &mut self.state);
+                    return;
+                }
+                let view = DisjointSlice::new(&mut self.state);
+                let mut tf = Taskflow::new("qulacs-gate");
+                let mut start = 0;
+                while start < total {
+                    let end = (start + chunk).min(total);
+                    tf.emplace(format!("[{start},{end})"), move || {
+                        apply_linear_view(&op, n, view, start..end);
+                    });
+                    start = end;
+                }
+                self.executor.run(&tf);
+            }
+            LoweredGate::Dense {
+                controls,
+                target,
+                mat,
+            } => {
+                let total = kernels::dense_pattern(controls, target, n).num_items();
+                let chunk = chunk_size(total, threads);
+                if chunk >= total {
+                    kernels::apply_dense(controls, target, &mat, n, &mut self.state);
+                    return;
+                }
+                let view = DisjointSlice::new(&mut self.state);
+                let mut tf = Taskflow::new("qulacs-dense");
+                let mut start = 0;
+                while start < total {
+                    let end = (start + chunk).min(total);
+                    tf.emplace(format!("[{start},{end})"), move || {
+                        apply_dense_view(controls, target, &mat, n, view, start..end);
+                    });
+                    start = end;
+                }
+                self.executor.run(&tf);
+            }
+        }
+    }
+}
+
+fn chunk_size(total: u64, threads: u64) -> u64 {
+    (total.div_ceil(threads.max(1) * 4)).max(MIN_PAR_ITEMS)
+}
+
+/// Applies a linear op's rank range through a disjoint-write view.
+/// Distinct rank ranges touch distinct amplitudes, satisfying the view's
+/// exclusivity contract.
+fn apply_linear_view(
+    op: &LinearOp,
+    n_qubits: u8,
+    view: DisjointSlice<'_, Complex64>,
+    ranks: std::ops::Range<u64>,
+) {
+    let pattern = op.pattern(n_qubits);
+    match *op {
+        LinearOp::Diag { target, d0, d1, .. } => {
+            let tbit = 1u64 << target;
+            for low in pattern.iter_lows(ranks) {
+                let d = if low & tbit != 0 { d1 } else { d0 };
+                // SAFETY: rank ranges are disjoint across tasks.
+                unsafe { view.write(low as usize, view.read(low as usize) * d) };
+            }
+        }
+        LinearOp::AntiDiag { a01, a10, .. } => {
+            for low in pattern.iter_lows(ranks) {
+                let high = pattern.partner(low);
+                // SAFETY: as above; each pair is owned by one task.
+                unsafe {
+                    let (x, y) = (view.read(low as usize), view.read(high as usize));
+                    view.write(low as usize, a01 * y);
+                    view.write(high as usize, a10 * x);
+                }
+            }
+        }
+        LinearOp::Swap { .. } => {
+            for low in pattern.iter_lows(ranks) {
+                let high = pattern.partner(low);
+                // SAFETY: as above.
+                unsafe {
+                    let (x, y) = (view.read(low as usize), view.read(high as usize));
+                    view.write(low as usize, y);
+                    view.write(high as usize, x);
+                }
+            }
+        }
+    }
+}
+
+/// Dense butterfly over a rank range, through a disjoint-write view.
+fn apply_dense_view(
+    controls: u64,
+    target: u8,
+    mat: &Mat2,
+    n_qubits: u8,
+    view: DisjointSlice<'_, Complex64>,
+    ranks: std::ops::Range<u64>,
+) {
+    let pattern = kernels::dense_pattern(controls, target, n_qubits);
+    let tbit = 1usize << target;
+    for low in pattern.iter_lows(ranks) {
+        let (i, j) = (low as usize, low as usize | tbit);
+        // SAFETY: pair ranks are disjoint across tasks.
+        unsafe {
+            let (a0, a1) = mat.apply(view.read(i), view.read(j));
+            view.write(i, a0);
+            view.write(j, a1);
+        }
+    }
+}
+
+impl Simulator for QulacsLike {
+    fn name(&self) -> &str {
+        "qulacs-like"
+    }
+
+    fn num_qubits(&self) -> u8 {
+        self.circuit.num_qubits()
+    }
+
+    fn push_net(&mut self) -> NetId {
+        self.circuit.push_net()
+    }
+
+    fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError> {
+        self.circuit.insert_gate(kind, net, qubits)
+    }
+
+    fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
+        self.circuit.remove_gate(gate).map(|_| ())
+    }
+
+    fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
+        self.circuit.remove_net(net).map(|_| ())
+    }
+
+    fn update_state(&mut self) {
+        self.state = vecops::ket_zero(self.num_qubits() as usize);
+        let gates: Vec<(GateKind, u64, Vec<u8>)> = self
+            .circuit
+            .ordered_gates()
+            .map(|(_, g)| (g.kind(), g.control_mask(), g.targets().to_vec()))
+            .collect();
+        for (kind, controls, targets) in gates {
+            // Barrier between gates: `run` blocks until the gate's
+            // parallel-for completes (the Qulacs synchronization model).
+            self.apply_gate_parallel(kind, controls, &targets);
+        }
+    }
+
+    fn amplitude(&self, idx: usize) -> Complex64 {
+        self.state[idx]
+    }
+
+    fn state_vec(&self) -> Vec<Complex64> {
+        self.state.clone()
+    }
+
+    fn num_gates(&self) -> usize {
+        self.circuit.num_gates()
+    }
+}

@@ -1,0 +1,123 @@
+//! The three baselines must agree with each other on random circuits,
+//! across thread counts and the full modifier protocol.
+
+use qtask_baselines::{NaiveSim, QiskitLike, QulacsLike, Simulator};
+use qtask_gates::GateKind;
+use qtask_num::vecops;
+use rand::prelude::*;
+
+fn random_gate(rng: &mut StdRng, n: u8) -> (GateKind, Vec<u8>) {
+    let mut qubits: Vec<u8> = (0..n).collect();
+    qubits.shuffle(rng);
+    match rng.random_range(0..11) {
+        0 => (GateKind::H, vec![qubits[0]]),
+        1 => (GateKind::X, vec![qubits[0]]),
+        2 => (GateKind::T, vec![qubits[0]]),
+        3 => (GateKind::Rz(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        4 => (GateKind::Ry(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        5 => (GateKind::Cx, vec![qubits[0], qubits[1]]),
+        6 => (GateKind::Cz, vec![qubits[0], qubits[1]]),
+        7 => (GateKind::Swap, vec![qubits[0], qubits[1]]),
+        8 if n >= 3 => (GateKind::Ccx, vec![qubits[0], qubits[1], qubits[2]]),
+        9 if n >= 3 => (GateKind::Cswap, vec![qubits[0], qubits[1], qubits[2]]),
+        _ => (GateKind::U3(0.3, 0.7, 1.1), vec![qubits[0]]),
+    }
+}
+
+#[test]
+fn all_baselines_agree_on_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for trial in 0..10 {
+        let n = rng.random_range(2..=7u8);
+        let mut naive = NaiveSim::new(n);
+        let mut qulacs = QulacsLike::new(n, 4);
+        let mut qiskit = QiskitLike::new(n, 4);
+        for _ in 0..rng.random_range(2..6) {
+            let (n1, n2, n3) = (naive.push_net(), qulacs.push_net(), qiskit.push_net());
+            // Fill the level with a few non-conflicting gates.
+            for _ in 0..rng.random_range(1..4) {
+                let (kind, qubits) = random_gate(&mut rng, n);
+                if naive.insert_gate(kind, n1, &qubits).is_ok() {
+                    qulacs.insert_gate(kind, n2, &qubits).unwrap();
+                    qiskit.insert_gate(kind, n3, &qubits).unwrap();
+                }
+            }
+        }
+        naive.update_state();
+        qulacs.update_state();
+        qiskit.update_state();
+        let want = naive.state_vec();
+        assert!(
+            vecops::approx_eq(&qulacs.state_vec(), &want, 1e-9),
+            "trial {trial}: qulacs-like diverged, diff {}",
+            vecops::max_abs_diff(&qulacs.state_vec(), &want)
+        );
+        assert!(
+            vecops::approx_eq(&qiskit.state_vec(), &want, 1e-9),
+            "trial {trial}: qiskit-like diverged, diff {}",
+            vecops::max_abs_diff(&qiskit.state_vec(), &want)
+        );
+    }
+}
+
+#[test]
+fn parallel_chunking_kicks_in_on_larger_states() {
+    // 14 qubits crosses the MIN_PAR_ITEMS threshold, exercising the
+    // DisjointSlice parallel paths of both baselines.
+    let n = 14u8;
+    let mut naive = NaiveSim::new(n);
+    let mut qulacs = QulacsLike::new(n, 4);
+    let mut qiskit = QiskitLike::new(n, 4);
+    for sim in [
+        &mut naive as &mut dyn Simulator,
+        &mut qulacs as &mut dyn Simulator,
+        &mut qiskit as &mut dyn Simulator,
+    ] {
+        let l1 = sim.push_net();
+        let l2 = sim.push_net();
+        let l3 = sim.push_net();
+        for q in 0..n {
+            sim.insert_gate(GateKind::H, l1, &[q]).unwrap();
+        }
+        for q in 0..n - 1 {
+            if q % 2 == 0 {
+                sim.insert_gate(GateKind::Cx, l2, &[q, q + 1]).unwrap();
+            }
+        }
+        sim.insert_gate(GateKind::Rz(0.4), l3, &[0]).unwrap();
+        sim.insert_gate(GateKind::Ry(0.8), l3, &[n - 1]).unwrap();
+        sim.update_state();
+    }
+    let want = naive.state_vec();
+    assert!(vecops::approx_eq(&qulacs.state_vec(), &want, 1e-9));
+    assert!(vecops::approx_eq(&qiskit.state_vec(), &want, 1e-9));
+}
+
+#[test]
+fn removal_protocol_matches() {
+    let mut naive = NaiveSim::new(4);
+    let mut qulacs = QulacsLike::new(4, 2);
+    let nets_n: Vec<_> = (0..3).map(|_| naive.push_net()).collect();
+    let nets_q: Vec<_> = (0..3).map(|_| qulacs.push_net()).collect();
+    let mut gn = Vec::new();
+    let mut gq = Vec::new();
+    let gates = [
+        (GateKind::H, vec![0u8]),
+        (GateKind::Cx, vec![0, 1]),
+        (GateKind::Ry(0.7), vec![2]),
+    ];
+    for (i, (k, q)) in gates.iter().enumerate() {
+        gn.push(naive.insert_gate(*k, nets_n[i], q).unwrap());
+        gq.push(qulacs.insert_gate(*k, nets_q[i], q).unwrap());
+    }
+    naive.remove_gate(gn[1]).unwrap();
+    qulacs.remove_gate(gq[1]).unwrap();
+    naive.update_state();
+    qulacs.update_state();
+    assert!(vecops::approx_eq(&qulacs.state_vec(), &naive.state_vec(), 1e-10));
+    naive.remove_net(nets_n[0]).unwrap();
+    qulacs.remove_net(nets_q[0]).unwrap();
+    naive.update_state();
+    qulacs.update_state();
+    assert!(vecops::approx_eq(&qulacs.state_vec(), &naive.state_vec(), 1e-10));
+}

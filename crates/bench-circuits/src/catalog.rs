@@ -1,0 +1,245 @@
+//! The Table III catalog: 20 circuits with the paper's reported numbers.
+
+use crate::{gens_app, gens_core};
+use qtask_circuit::Circuit;
+
+/// One row of the paper's Table III: reported runtimes (ms) and memory
+/// (GB) per simulator, plus the circuit metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Qubit count used in the paper.
+    pub qubits: u8,
+    /// Standard-gate count reported.
+    pub gates: usize,
+    /// CNOT count reported.
+    pub cnots: usize,
+    /// Qulacs (full ms, incremental ms, mem GB).
+    pub qulacs: (f64, f64, f64),
+    /// Qiskit (full ms, incremental ms, mem GB).
+    pub qiskit: (f64, f64, f64),
+    /// qTask (full ms, incremental ms, mem GB).
+    pub qtask: (f64, f64, f64),
+}
+
+/// A benchmark circuit entry.
+pub struct BenchEntry {
+    /// QASMBench-style name.
+    pub name: &'static str,
+    /// Table III description.
+    pub description: &'static str,
+    /// The paper's reported measurements.
+    pub paper: PaperRow,
+    /// Builds the circuit at a given qubit count (the paper's by default).
+    pub build: fn(u8) -> Circuit,
+}
+
+impl BenchEntry {
+    /// Builds at the paper's qubit count.
+    pub fn build_default(&self) -> Circuit {
+        (self.build)(self.paper.qubits)
+    }
+
+    /// Builds capped at `max_qubits` (memory-constrained harness runs).
+    pub fn build_capped(&self, max_qubits: u8) -> (Circuit, u8) {
+        let n = self.paper.qubits.min(max_qubits);
+        ((self.build)(n), n)
+    }
+}
+
+macro_rules! row {
+    ($q:expr, $g:expr, $c:expr, [$a1:expr, $a2:expr, $a3:expr], [$b1:expr, $b2:expr, $b3:expr], [$c1:expr, $c2:expr, $c3:expr]) => {
+        PaperRow {
+            qubits: $q,
+            gates: $g,
+            cnots: $c,
+            qulacs: ($a1, $a2, $a3),
+            qiskit: ($b1, $b2, $b3),
+            qtask: ($c1, $c2, $c3),
+        }
+    };
+}
+
+/// The 20 Table III circuits, in the paper's row order.
+pub fn catalog() -> &'static [BenchEntry] {
+    &[
+        BenchEntry {
+            name: "dnn",
+            description: "Quantum deep neural network",
+            paper: row!(8, 1200, 384, [21.8, 2167.8, 0.07], [51.4, 5114.3, 0.07], [22.4, 529.3, 0.09]),
+            build: gens_app::dnn,
+        },
+        BenchEntry {
+            name: "adder",
+            description: "Quantum ripple adder",
+            paper: row!(10, 142, 65, [17.2, 186.4, 0.05], [29.5, 320.1, 0.04], [11.79, 57.9, 0.06]),
+            build: gens_core::adder,
+        },
+        BenchEntry {
+            name: "bb84",
+            description: "Quantum key distribution",
+            paper: row!(8, 27, 0, [1.1, 2.3, 0.03], [1.1, 2.4, 0.03], [1.5, 1.9, 0.04]),
+            build: gens_core::bb84,
+        },
+        BenchEntry {
+            name: "bv",
+            description: "Bernstein-Vazirani algorithm",
+            paper: row!(14, 41, 13, [9.0, 21.7, 0.11], [16.7, 40.6, 0.12], [6.7, 14.3, 0.13]),
+            build: gens_core::bv,
+        },
+        BenchEntry {
+            name: "ising",
+            description: "Ising model simulation",
+            paper: row!(10, 480, 90, [49.6, 1438.1, 0.08], [81.4, 2360.1, 0.09], [41.7, 550.14, 0.10]),
+            build: gens_core::ising,
+        },
+        BenchEntry {
+            name: "multiplier",
+            description: "Quantum multiplication",
+            paper: row!(15, 574, 246, [150.9, 4199.0, 1.98], [283.7, 7896.3, 2.86], [101.62, 1052.6, 3.46]),
+            build: gens_app::multiplier,
+        },
+        BenchEntry {
+            name: "multiplier_35",
+            description: "3x5 matrix multiplication",
+            paper: row!(13, 98, 40, [22.4, 130.1, 0.10], [47.1, 273.54, 0.15], [16.01, 92.7, 0.18]),
+            build: gens_app::multiplier_35,
+        },
+        BenchEntry {
+            name: "qaoa",
+            description: "Approximation optimization",
+            paper: row!(6, 270, 54, [5.4, 148.5, 0.01], [13.4, 368.5, 0.01], [6.1, 37.65, 0.02]),
+            build: gens_app::qaoa,
+        },
+        BenchEntry {
+            name: "qf21",
+            description: "Quantum factorization of 21",
+            paper: row!(15, 311, 115, [79.8, 1173.1, 1.59], [191.5, 2815.1, 1.66], [58.3, 480.7, 1.91]),
+            build: gens_app::qf21,
+        },
+        BenchEntry {
+            name: "qft",
+            description: "Quantum Fourier transform",
+            paper: row!(15, 540, 210, [142.0, 3621.0, 2.75], [281.2, 7170.1, 3.11], [102.2, 949.4, 3.17]),
+            build: gens_core::qft,
+        },
+        BenchEntry {
+            name: "qpe",
+            description: "Quantum phase estimation",
+            paper: row!(9, 123, 43, [10.3, 100.42, 0.02], [27.8, 270.4, 0.04], [7.65, 80.44, 0.05]),
+            build: gens_app::qpe,
+        },
+        BenchEntry {
+            name: "sat",
+            description: "Boolean satisfiability solver",
+            paper: row!(11, 679, 252, [85.5, 3660.7, 0.11], [196.7, 8422.1, 0.21], [62.3, 786.5, 0.28]),
+            build: gens_app::sat,
+        },
+        BenchEntry {
+            name: "seca",
+            description: "Shor's algorithm",
+            paper: row!(11, 216, 84, [28.4, 401.0, 0.06], [59.64, 843.0, 0.09], [21.42, 128.5, 0.11]),
+            build: gens_app::seca,
+        },
+        BenchEntry {
+            name: "simons",
+            description: "Simon's algorithm",
+            paper: row!(6, 44, 14, [0.83, 3.9, 0.03], [1.44, 6.71, 0.03], [0.81, 2.44, 0.04]),
+            build: gens_app::simons,
+        },
+        BenchEntry {
+            name: "vqe_uccsd",
+            description: "Variational quantum eigensolver",
+            paper: row!(8, 10808, 5488, [244.4, 249084.2, 0.36], [435.1, 443367.1, 0.56], [259.4, 44251.1, 0.76]),
+            build: gens_app::vqe_uccsd,
+        },
+        BenchEntry {
+            name: "big_adder",
+            description: "Quantum ripple adder",
+            paper: row!(18, 284, 130, [200.1, 2401.3, 7.98], [360.4, 4300.8, 11.4], [137.9, 602.5, 13.9]),
+            build: gens_core::adder,
+        },
+        BenchEntry {
+            name: "big_bv",
+            description: "Bernstein-Vazirani algorithm",
+            paper: row!(19, 56, 18, [125.0, 305.9, 2.6], [234.5, 573.9, 3.9], [95.4, 126.6, 4.9]),
+            build: gens_core::bv,
+        },
+        BenchEntry {
+            name: "big_cc",
+            description: "Counterfeit coin finding",
+            paper: row!(18, 34, 17, [24.9, 47.8, 0.98], [42.3, 63.3, 1.5], [16.6, 24.5, 1.7]),
+            build: gens_core::cc,
+        },
+        BenchEntry {
+            name: "big_ising",
+            description: "Ising model simulation",
+            paper: row!(26, 280, 50, [1939.1, 3345.5, 89.4], [1745.3, 2866.2, 91.4], [991.4, 2000.3, 114.3]),
+            build: gens_core::ising,
+        },
+        BenchEntry {
+            name: "big_qft",
+            description: "Quantum Fourier transform",
+            paper: row!(20, 970, 380, [2936.3, 100567.0, 67.3], [3012.6, 144453.4, 77.6], [2209.7, 12912.8, 91.2]),
+            build: gens_core::qft,
+        },
+    ]
+}
+
+/// Builds a catalog circuit by name, optionally overriding the qubit count.
+pub fn build(name: &str, qubits: Option<u8>) -> Option<Circuit> {
+    let entry = catalog().iter().find(|e| e.name == name)?;
+    Some((entry.build)(qubits.unwrap_or(entry.paper.qubits)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtask_circuit::CircuitStats;
+
+    #[test]
+    fn twenty_entries_in_paper_order() {
+        let c = catalog();
+        assert_eq!(c.len(), 20);
+        assert_eq!(c[0].name, "dnn");
+        assert_eq!(c[19].name, "big_qft");
+    }
+
+    #[test]
+    fn all_entries_build_at_paper_size_except_monsters() {
+        for e in catalog() {
+            // Keep CI memory bounded: build the 26-qubit ising at 12.
+            let n = e.paper.qubits.min(14);
+            let ckt = (e.build)(n);
+            assert_eq!(ckt.num_qubits(), n, "{}", e.name);
+            assert!(ckt.num_gates() > 0, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn build_by_name() {
+        let c = build("qft", Some(8)).unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.qubits, 8);
+        assert_eq!(s.gates, 8 + 5 * 8 * 7 / 2);
+        assert!(build("nonexistent", None).is_none());
+    }
+
+    #[test]
+    fn gate_counts_against_paper_where_exact() {
+        for (name, expect_exact) in [
+            ("qft", true),
+            ("big_qft", true),
+            ("bv", true),
+            ("big_bv", true),
+            ("adder", true),
+            ("big_cc", true),
+            ("bb84", true),
+        ] {
+            let e = catalog().iter().find(|e| e.name == name).unwrap();
+            let s = CircuitStats::of(&e.build_default());
+            if expect_exact {
+                assert_eq!(s.gates, e.paper.gates, "{name}");
+            }
+        }
+    }
+}

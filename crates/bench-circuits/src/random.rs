@@ -1,0 +1,66 @@
+//! Random circuit generation for tests and fuzzing.
+
+use qtask_circuit::{Circuit, CircuitBuilder};
+use qtask_gates::GateKind;
+use rand::prelude::*;
+
+/// Draws one random gate with distinct random operands.
+pub fn random_gate<R: Rng>(rng: &mut R, n: u8) -> (GateKind, Vec<u8>) {
+    let mut qubits: Vec<u8> = (0..n).collect();
+    qubits.shuffle(rng);
+    match rng.random_range(0..14) {
+        0 => (GateKind::H, vec![qubits[0]]),
+        1 => (GateKind::X, vec![qubits[0]]),
+        2 => (GateKind::Y, vec![qubits[0]]),
+        3 => (GateKind::Z, vec![qubits[0]]),
+        4 => (GateKind::T, vec![qubits[0]]),
+        5 => (GateKind::Rx(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        6 => (GateKind::Ry(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        7 => (GateKind::Rz(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        8 if n >= 2 => (GateKind::Cx, vec![qubits[0], qubits[1]]),
+        9 if n >= 2 => (GateKind::Cz, vec![qubits[0], qubits[1]]),
+        10 if n >= 2 => (
+            GateKind::Cp(rng.random_range(-3.0..3.0)),
+            vec![qubits[0], qubits[1]],
+        ),
+        11 if n >= 2 => (GateKind::Swap, vec![qubits[0], qubits[1]]),
+        12 if n >= 3 => (GateKind::Ccx, vec![qubits[0], qubits[1], qubits[2]]),
+        _ => (GateKind::U3(
+            rng.random_range(-3.0..3.0),
+            rng.random_range(-3.0..3.0),
+            rng.random_range(-3.0..3.0),
+        ), vec![qubits[0]]),
+    }
+}
+
+/// Generates a random levelized circuit with roughly `gates` gates.
+pub fn random_circuit<R: Rng>(rng: &mut R, n: u8, gates: usize) -> Circuit {
+    let mut b = CircuitBuilder::new(n);
+    for _ in 0..gates {
+        let (kind, qubits) = random_gate(rng, n);
+        b.gate(kind, &qubits);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circuit_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = random_circuit(&mut rng, 5, 100);
+        assert_eq!(c.num_gates(), 100);
+        assert_eq!(c.num_qubits(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_circuit(&mut StdRng::seed_from_u64(9), 4, 30);
+        let b = random_circuit(&mut StdRng::seed_from_u64(9), 4, 30);
+        let ga: Vec<_> = a.ordered_gates().map(|(_, g)| *g).collect();
+        let gb: Vec<_> = b.ordered_gates().map(|(_, g)| *g).collect();
+        assert_eq!(ga, gb);
+    }
+}

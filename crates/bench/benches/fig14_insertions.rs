@@ -1,0 +1,86 @@
+//! Figure 14: incremental simulation for random gate insertions.
+//!
+//! "At each incremental iteration, we randomly select a few levels and
+//! insert all their gates into the circuit. Then, we call state update to
+//! re-simulate the modified circuit. Iterations stop until the circuit is
+//! fully constructed." Prints the cumulative-runtime series for qTask and
+//! the Qulacs-like baseline on qft and big_adder, like the paper's plots.
+
+use qtask_bench::*;
+use qtask_core::SimConfig;
+use qtask_taskflow::Executor;
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn run_series(name: &str, opts: &Opts, ex: &Arc<Executor>) {
+    let (circuit, n) = opts.build_circuit(name);
+    let levels = levels_of(&circuit);
+    println!(
+        "\nFigure 14 — {name} ({n} qubits, {} gates, {} levels): cumulative runtime (ms)",
+        circuit.num_gates(),
+        levels.len()
+    );
+    println!("{:>5} {:>14} {:>14}", "iter", "qTask", "Qulacs-like");
+    let config = SimConfig::default();
+    let mut rng = StdRng::seed_from_u64(14);
+    // Shared iteration schedule: a random level order, consumed a few
+    // levels per iteration.
+    let mut order: Vec<usize> = (0..levels.len()).collect();
+    order.shuffle(&mut rng);
+    let per_iter = (levels.len() / 40).max(1) + 1;
+    let mut sims: Vec<Box<dyn qtask_baselines::Simulator>> = vec![
+        make_sim(SimKind::QTask, n, ex, &config),
+        make_sim(SimKind::Qulacs, n, ex, &config),
+    ];
+    // Pre-create every net (in circuit order) so levels can be inserted
+    // out of order at their correct positions.
+    let nets: Vec<Vec<qtask_circuit::NetId>> = sims
+        .iter_mut()
+        .map(|sim| (0..levels.len()).map(|_| sim.push_net()).collect())
+        .collect();
+    let mut cumulative = [0.0f64; 2];
+    let mut iter = 0usize;
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        let batch: Vec<usize> = order[cursor..(cursor + per_iter).min(order.len())].to_vec();
+        cursor += batch.len();
+        iter += 1;
+        for (s, sim) in sims.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            for &lvl in &batch {
+                for (kind, qubits) in &levels[lvl] {
+                    sim.insert_gate(*kind, nets[s][lvl], qubits).expect("insert");
+                }
+            }
+            sim.update_state();
+            cumulative[s] += t0.elapsed().as_secs_f64() * 1e3;
+        }
+        println!("{iter:>5} {:>14.2} {:>14.2}", cumulative[0], cumulative[1]);
+    }
+    println!(
+        "final: qTask {:.1} ms vs Qulacs-like {:.1} ms ({:.2}x)",
+        cumulative[0],
+        cumulative[1],
+        cumulative[1] / cumulative[0]
+    );
+    // Cross-check end states.
+    let a = sims[0].state_vec();
+    let b = sims[1].state_vec();
+    assert!(
+        qtask_num::vecops::approx_eq(&a, &b, 1e-8),
+        "{name}: simulators diverged after insertion protocol"
+    );
+}
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    let ex = Arc::new(Executor::new(opts.threads));
+    println!(
+        "Figure 14 reproduction — random gate insertions ({} threads)",
+        opts.threads
+    );
+    run_series("qft", &opts, &ex);
+    run_series("big_adder", &opts, &ex);
+}

@@ -1,0 +1,80 @@
+//! Figure 15: incremental simulation for random gate removals.
+//!
+//! "Starting from a complete circuit, each incremental iteration randomly
+//! selects a few levels and removes all their gates … Iterations stop
+//! until the circuit becomes empty." Iteration 0 is the full simulation;
+//! prints the per-iteration runtime series for qft and big_adder. Both
+//! series should decay toward zero with qTask below the baseline and
+//! fluctuating more (the paper's observation: removing late levels
+//! touches fewer downstream partitions than early levels).
+
+use qtask_bench::*;
+use qtask_core::SimConfig;
+use qtask_taskflow::Executor;
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn run_series(name: &str, opts: &Opts, ex: &Arc<Executor>) {
+    let (circuit, n) = opts.build_circuit(name);
+    let levels = levels_of(&circuit);
+    println!(
+        "\nFigure 15 — {name} ({n} qubits, {} gates): per-iteration runtime (ms)",
+        circuit.num_gates()
+    );
+    println!("{:>5} {:>12} {:>12}", "iter", "qTask", "Qulacs-like");
+    let config = SimConfig::default();
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut order: Vec<usize> = (0..levels.len()).collect();
+    order.shuffle(&mut rng);
+    let per_iter = (levels.len() / 40).max(1) + 1;
+    let mut sims: Vec<Box<dyn qtask_baselines::Simulator>> = vec![
+        make_sim(SimKind::QTask, n, ex, &config),
+        make_sim(SimKind::Qulacs, n, ex, &config),
+    ];
+    let mut gate_ids = Vec::new();
+    for sim in sims.iter_mut() {
+        gate_ids.push(load_levels(sim.as_mut(), &levels));
+    }
+    // Iteration 0: full simulation.
+    let mut row = [0.0f64; 2];
+    for (s, sim) in sims.iter_mut().enumerate() {
+        let t0 = Instant::now();
+        sim.update_state();
+        row[s] = t0.elapsed().as_secs_f64() * 1e3;
+    }
+    println!("{:>5} {:>12.2} {:>12.2}   (full simulation)", 0, row[0], row[1]);
+    let mut iter = 0usize;
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        let batch: Vec<usize> = order[cursor..(cursor + per_iter).min(order.len())].to_vec();
+        cursor += batch.len();
+        iter += 1;
+        for (s, sim) in sims.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            for &lvl in &batch {
+                for gid in &gate_ids[s][lvl].1 {
+                    sim.remove_gate(*gid).expect("remove");
+                }
+            }
+            sim.update_state();
+            row[s] = t0.elapsed().as_secs_f64() * 1e3;
+        }
+        println!("{iter:>5} {:>12.2} {:>12.2}", row[0], row[1]);
+    }
+    // The empty circuit leaves |0…0>.
+    assert!(sims[0].amplitude(0).is_one(1e-9));
+    assert!(sims[1].amplitude(0).is_one(1e-9));
+}
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    let ex = Arc::new(Executor::new(opts.threads));
+    println!(
+        "Figure 15 reproduction — random gate removals ({} threads)",
+        opts.threads
+    );
+    run_series("qft", &opts, &ex);
+    run_series("big_adder", &opts, &ex);
+}

@@ -1,0 +1,104 @@
+//! Figure 16: incremental simulation with mixed random insertions and
+//! removals, 50 iterations. Prints per-iteration runtime for qft and
+//! big_adder; qTask should win nearly everywhere, most clearly on the
+//! CNOT-dominated big_adder (the paper's observation — non-superposition
+//! gates let qTask update only the affected amplitudes).
+
+use qtask_bench::*;
+use qtask_core::SimConfig;
+use qtask_taskflow::Executor;
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ITERATIONS: usize = 50;
+
+fn run_series(name: &str, opts: &Opts, ex: &Arc<Executor>) {
+    let (circuit, n) = opts.build_circuit(name);
+    let levels = levels_of(&circuit);
+    println!(
+        "\nFigure 16 — {name} ({n} qubits, {} gates): per-iteration runtime (ms)",
+        circuit.num_gates()
+    );
+    println!("{:>5} {:>12} {:>12}", "iter", "qTask", "Qulacs-like");
+    let config = SimConfig::default();
+    let mut rng = StdRng::seed_from_u64(16);
+    let mut sims: Vec<Box<dyn qtask_baselines::Simulator>> = vec![
+        make_sim(SimKind::QTask, n, ex, &config),
+        make_sim(SimKind::Qulacs, n, ex, &config),
+    ];
+    // Start from the full circuit.
+    let mut gate_ids = Vec::new();
+    for sim in sims.iter_mut() {
+        gate_ids.push(load_levels(sim.as_mut(), &levels));
+    }
+    for sim in sims.iter_mut() {
+        sim.update_state();
+    }
+    // Which levels are currently present.
+    let mut present: Vec<bool> = vec![true; levels.len()];
+    let mut totals = [0.0f64; 2];
+    for iter in 1..=ITERATIONS {
+        // A batch of distinct levels to toggle (insert if absent, remove
+        // if present) — the paper's random mix.
+        let count = rng.random_range(1..=3usize);
+        let mut batch: Vec<usize> = Vec::new();
+        while batch.len() < count {
+            let lvl = rng.random_range(0..levels.len());
+            if !batch.contains(&lvl) {
+                batch.push(lvl);
+            }
+        }
+        let mut row = [0.0f64; 2];
+        for (s, sim) in sims.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            for &lvl in &batch {
+                if present[lvl] {
+                    for gid in &gate_ids[s][lvl].1 {
+                        sim.remove_gate(*gid).expect("remove");
+                    }
+                } else {
+                    let net = gate_ids[s][lvl].0;
+                    gate_ids[s][lvl].1 = levels[lvl]
+                        .iter()
+                        .map(|(kind, qubits)| {
+                            sim.insert_gate(*kind, net, qubits).expect("insert")
+                        })
+                        .collect();
+                }
+            }
+            sim.update_state();
+            row[s] = t0.elapsed().as_secs_f64() * 1e3;
+            totals[s] += row[s];
+        }
+        for &lvl in &batch {
+            present[lvl] = !present[lvl];
+        }
+        println!("{iter:>5} {:>12.2} {:>12.2}", row[0], row[1]);
+    }
+    println!(
+        "mean: qTask {:.2} ms vs Qulacs-like {:.2} ms ({:.2}x)",
+        totals[0] / ITERATIONS as f64,
+        totals[1] / ITERATIONS as f64,
+        totals[1] / totals[0]
+    );
+    // Cross-check: both simulators agree at the end.
+    let a = sims[0].state_vec();
+    let b = sims[1].state_vec();
+    assert!(
+        qtask_num::vecops::approx_eq(&a, &b, 1e-8),
+        "{name}: simulators diverged after the mixed protocol"
+    );
+}
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    let ex = Arc::new(Executor::new(opts.threads));
+    println!(
+        "Figure 16 reproduction — mixed insertions/removals, {ITERATIONS} iterations ({} threads)",
+        opts.threads
+    );
+    run_series("qft", &opts, &ex);
+    run_series("big_adder", &opts, &ex);
+}

@@ -1,0 +1,128 @@
+//! Table III: overall simulation performance on the 20 QASMBench-style
+//! circuits — full-simulation time, incremental (level-by-level) time,
+//! and peak memory for Qulacs-like, Qiskit-like and qTask.
+//!
+//! Prints measured values beside the paper's, plus the paper's summary
+//! row (geometric-mean speedups of qTask over each baseline).
+//!
+//! Scale knobs: see `qtask_bench::Opts` (QTASK_BENCH_MAX_QUBITS caps the
+//! big_* circuits; QTASK_BENCH_FULL=1 uses paper-exact sizes — the
+//! 26-qubit big_ising then needs ~100 GB like the paper reports).
+
+use qtask_bench::*;
+use qtask_circuit::CircuitStats;
+use qtask_core::SimConfig;
+use qtask_taskflow::Executor;
+use qtask_util::alloc_counter::CountingAlloc;
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    let ex = Arc::new(Executor::new(opts.threads));
+    let config = SimConfig::default();
+    println!(
+        "Table III reproduction — {} threads, {} reps, qubit cap {} {}",
+        opts.threads,
+        opts.reps,
+        opts.max_qubits,
+        if opts.full { "(paper-exact sizes)" } else { "" }
+    );
+    println!(
+        "{:<14}{:>3}{:>6}{:>5} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7}",
+        "circuit", "q", "gates", "cx", "Qul full", "Qul inc", "GB", "Qis full", "Qis inc", "GB",
+        "qT full", "qT inc", "GB"
+    );
+    rule(118);
+    let mut speedup_full = [Vec::new(), Vec::new()]; // vs qulacs, vs qiskit
+    let mut speedup_inc = [Vec::new(), Vec::new()];
+    let mut mem_ratio = [Vec::new(), Vec::new()];
+    for entry in qtask_bench_circuits::catalog() {
+        let (circuit, n) = opts.build_circuit(entry.name);
+        let stats = CircuitStats::of(&circuit);
+        let levels = levels_of(&circuit);
+        let mut results = Vec::new(); // (full ms, inc ms, peak bytes)
+        for kind in SimKind::TABLE_ORDER {
+            let full = median_of(opts.reps, || {
+                let mut sim = make_sim(kind, n, &ex, &config);
+                full_sim_ms(sim.as_mut(), &levels)
+            });
+            // Peak memory across one full build+simulate.
+            CountingAlloc::reset_peak();
+            let base = CountingAlloc::peak_bytes();
+            let peak = {
+                let mut sim = make_sim(kind, n, &ex, &config);
+                load_levels(sim.as_mut(), &levels);
+                sim.update_state();
+                CountingAlloc::peak_bytes() - base
+            };
+            let inc = median_of(opts.reps, || {
+                let mut sim = make_sim(kind, n, &ex, &config);
+                incremental_sim_ms(sim.as_mut(), &levels)
+            });
+            results.push((full, inc, peak));
+        }
+        let (qul, qis, qt) = (results[0], results[1], results[2]);
+        println!(
+            "{:<14}{:>3}{:>6}{:>5} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7}",
+            entry.name,
+            n,
+            stats.gates,
+            stats.cnots,
+            fmt_ms(qul.0),
+            fmt_ms(qul.1),
+            fmt_gb(qul.2),
+            fmt_ms(qis.0),
+            fmt_ms(qis.1),
+            fmt_gb(qis.2),
+            fmt_ms(qt.0),
+            fmt_ms(qt.1),
+            fmt_gb(qt.2),
+        );
+        println!(
+            "{:<14}{:>3}{:>6}{:>5} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7}   (paper @{}q)",
+            "  paper:",
+            entry.paper.qubits,
+            entry.paper.gates,
+            entry.paper.cnots,
+            fmt_ms(entry.paper.qulacs.0),
+            fmt_ms(entry.paper.qulacs.1),
+            format!("{:.2}", entry.paper.qulacs.2),
+            fmt_ms(entry.paper.qiskit.0),
+            fmt_ms(entry.paper.qiskit.1),
+            format!("{:.2}", entry.paper.qiskit.2),
+            fmt_ms(entry.paper.qtask.0),
+            fmt_ms(entry.paper.qtask.1),
+            format!("{:.2}", entry.paper.qtask.2),
+            entry.paper.qubits,
+        );
+        speedup_full[0].push(qul.0 / qt.0);
+        speedup_full[1].push(qis.0 / qt.0);
+        speedup_inc[0].push(qul.1 / qt.1);
+        speedup_inc[1].push(qis.1 / qt.1);
+        mem_ratio[0].push(qt.2 as f64 / qul.2.max(1) as f64);
+        mem_ratio[1].push(qt.2 as f64 / qis.2.max(1) as f64);
+    }
+    rule(118);
+    println!(
+        "qTask speedup (geomean): full {:.2}x vs Qulacs-like, {:.2}x vs Qiskit-like   \
+         (paper: 1.46x / 1.71x)",
+        geomean(&speedup_full[0]),
+        geomean(&speedup_full[1]),
+    );
+    println!(
+        "                          inc  {:.2}x vs Qulacs-like, {:.2}x vs Qiskit-like   \
+         (paper: 5.77x / 9.76x)",
+        geomean(&speedup_inc[0]),
+        geomean(&speedup_inc[1]),
+    );
+    println!(
+        "qTask memory ratio (geomean): {:.2}x vs Qulacs-like, {:.2}x vs Qiskit-like  \
+         (paper: 1.26x / 1.18x)",
+        geomean(&mem_ratio[0]),
+        geomean(&mem_ratio[1]),
+    );
+}

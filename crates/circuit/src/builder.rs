@@ -1,0 +1,246 @@
+//! Levelized circuit construction.
+//!
+//! QASM programs and most generators describe circuits as flat gate
+//! sequences. Following the paper's QASMBench convention — "we create a
+//! net per level and insert all parallel gates at that level to the net" —
+//! the builder assigns each appended gate to the earliest net where all
+//! its qubits are free (ASAP levelization).
+
+use crate::circuit::{Circuit, GateId, NetId};
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use qtask_gates::GateKind;
+
+/// Builds a [`Circuit`] from an append-only gate stream, levelizing on
+/// the fly. Also records the level (net index) of every appended gate so
+/// harnesses can replay construction level by level.
+pub struct CircuitBuilder {
+    circuit: Circuit,
+    nets_by_level: Vec<NetId>,
+    /// For each qubit, the first level where it is still free.
+    next_free_level: Vec<usize>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for `num_qubits` qubits.
+    pub fn new(num_qubits: u8) -> CircuitBuilder {
+        CircuitBuilder {
+            circuit: Circuit::new(num_qubits),
+            nets_by_level: Vec::new(),
+            next_free_level: vec![0; num_qubits as usize],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u8 {
+        self.circuit.num_qubits()
+    }
+
+    /// Current number of levels.
+    pub fn depth(&self) -> usize {
+        self.nets_by_level.len()
+    }
+
+    /// Appends a gate at the earliest level where its qubits are free.
+    /// Returns the gate id and the level it landed on.
+    pub fn push(&mut self, kind: GateKind, qubits: &[u8]) -> Result<(GateId, usize), CircuitError> {
+        // Validate range before touching levels.
+        for &q in qubits {
+            if q >= self.circuit.num_qubits() {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.circuit.num_qubits(),
+                });
+            }
+        }
+        let _shape_check = Gate::new(kind, qubits);
+        let level = qubits
+            .iter()
+            .map(|&q| self.next_free_level[q as usize])
+            .max()
+            .unwrap_or(0);
+        while self.nets_by_level.len() <= level {
+            let id = self.circuit.push_net();
+            self.nets_by_level.push(id);
+        }
+        let net = self.nets_by_level[level];
+        let gid = self.circuit.insert_gate(kind, net, qubits)?;
+        for &q in qubits {
+            self.next_free_level[q as usize] = level + 1;
+        }
+        Ok((gid, level))
+    }
+
+    /// Appends a gate, panicking on error — convenient for generators
+    /// whose inputs are correct by construction.
+    pub fn gate(&mut self, kind: GateKind, qubits: &[u8]) -> GateId {
+        match self.push(kind, qubits) {
+            Ok((gid, _)) => gid,
+            Err(e) => panic!("builder push of {kind:?} on {qubits:?} failed: {e}"),
+        }
+    }
+
+    /// Forces subsequent gates onto a fresh level (a barrier).
+    pub fn barrier(&mut self) {
+        let d = self.depth();
+        for lvl in &mut self.next_free_level {
+            *lvl = d;
+        }
+    }
+
+    /// Finishes, returning the circuit.
+    pub fn finish(self) -> Circuit {
+        self.circuit
+    }
+
+    /// Finishes, returning the circuit and its per-level net ids.
+    pub fn finish_with_levels(self) -> (Circuit, Vec<NetId>) {
+        (self.circuit, self.nets_by_level)
+    }
+
+    // ---- convenience wrappers for the common gates ----------------------
+
+    /// Hadamard.
+    pub fn h(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::H, &[q])
+    }
+    /// Pauli-X.
+    pub fn x(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::X, &[q])
+    }
+    /// Pauli-Y.
+    pub fn y(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::Y, &[q])
+    }
+    /// Pauli-Z.
+    pub fn z(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::Z, &[q])
+    }
+    /// S phase.
+    pub fn s(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::S, &[q])
+    }
+    /// S†.
+    pub fn sdg(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::Sdg, &[q])
+    }
+    /// T phase.
+    pub fn t(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::T, &[q])
+    }
+    /// T†.
+    pub fn tdg(&mut self, q: u8) -> GateId {
+        self.gate(GateKind::Tdg, &[q])
+    }
+    /// X rotation.
+    pub fn rx(&mut self, theta: f64, q: u8) -> GateId {
+        self.gate(GateKind::Rx(theta), &[q])
+    }
+    /// Y rotation.
+    pub fn ry(&mut self, theta: f64, q: u8) -> GateId {
+        self.gate(GateKind::Ry(theta), &[q])
+    }
+    /// Z rotation.
+    pub fn rz(&mut self, theta: f64, q: u8) -> GateId {
+        self.gate(GateKind::Rz(theta), &[q])
+    }
+    /// Phase gate (u1).
+    pub fn p(&mut self, lambda: f64, q: u8) -> GateId {
+        self.gate(GateKind::P(lambda), &[q])
+    }
+    /// u2 gate.
+    pub fn u2(&mut self, phi: f64, lambda: f64, q: u8) -> GateId {
+        self.gate(GateKind::U2(phi, lambda), &[q])
+    }
+    /// u3 gate.
+    pub fn u3(&mut self, theta: f64, phi: f64, lambda: f64, q: u8) -> GateId {
+        self.gate(GateKind::U3(theta, phi, lambda), &[q])
+    }
+    /// CNOT with `control`, `target`.
+    pub fn cx(&mut self, control: u8, target: u8) -> GateId {
+        self.gate(GateKind::Cx, &[control, target])
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, control: u8, target: u8) -> GateId {
+        self.gate(GateKind::Cz, &[control, target])
+    }
+    /// Controlled-H.
+    pub fn ch(&mut self, control: u8, target: u8) -> GateId {
+        self.gate(GateKind::Ch, &[control, target])
+    }
+    /// Controlled phase (cu1).
+    pub fn cp(&mut self, lambda: f64, control: u8, target: u8) -> GateId {
+        self.gate(GateKind::Cp(lambda), &[control, target])
+    }
+    /// Controlled RZ.
+    pub fn crz(&mut self, theta: f64, control: u8, target: u8) -> GateId {
+        self.gate(GateKind::Crz(theta), &[control, target])
+    }
+    /// Toffoli.
+    pub fn ccx(&mut self, c1: u8, c2: u8, target: u8) -> GateId {
+        self.gate(GateKind::Ccx, &[c1, c2, target])
+    }
+    /// SWAP.
+    pub fn swap(&mut self, a: u8, b: u8) -> GateId {
+        self.gate(GateKind::Swap, &[a, b])
+    }
+    /// Controlled SWAP.
+    pub fn cswap(&mut self, c: u8, a: u8, b: u8) -> GateId {
+        self.gate(GateKind::Cswap, &[c, a, b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asap_levelization() {
+        let mut b = CircuitBuilder::new(3);
+        let (_, l0) = b.push(GateKind::H, &[0]).unwrap();
+        let (_, l1) = b.push(GateKind::H, &[1]).unwrap(); // parallel with first
+        let (_, l2) = b.push(GateKind::Cx, &[0, 1]).unwrap(); // must wait
+        let (_, l3) = b.push(GateKind::H, &[2]).unwrap(); // free, level 0
+        assert_eq!((l0, l1, l2, l3), (0, 0, 1, 0));
+        let ckt = b.finish();
+        assert_eq!(ckt.num_nets(), 2);
+        assert_eq!(ckt.num_gates(), 4);
+    }
+
+    #[test]
+    fn barrier_forces_new_level() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0);
+        b.barrier();
+        let (_, lvl) = b.push(GateKind::H, &[1]).unwrap();
+        assert_eq!(lvl, 1);
+    }
+
+    #[test]
+    fn figure2_via_builder() {
+        // ASAP levelization packs the structurally independent G7 and G8
+        // into the same level, so Figure 2's nine gates need only 4 nets
+        // (Listing 1 uses 5 because it assigns nets explicitly).
+        let mut b = CircuitBuilder::new(5);
+        for q in (0..5).rev() {
+            b.h(q);
+        }
+        let (_, l6) = b.push(GateKind::Cx, &[4, 3]).unwrap();
+        let (_, l7) = b.push(GateKind::Cx, &[4, 1]).unwrap();
+        let (_, l8) = b.push(GateKind::Cx, &[3, 2]).unwrap();
+        let (_, l9) = b.push(GateKind::Cx, &[2, 0]).unwrap();
+        assert_eq!((l6, l7, l8, l9), (1, 2, 2, 3));
+        let (ckt, levels) = b.finish_with_levels();
+        assert_eq!(ckt.num_nets(), 4);
+        assert_eq!(levels.len(), 4);
+        assert_eq!(ckt.net(levels[0]).unwrap().len(), 5);
+        assert_eq!(ckt.net(levels[2]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut b = CircuitBuilder::new(2);
+        assert!(b.push(GateKind::H, &[5]).is_err());
+        assert_eq!(b.depth(), 0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The [`Circuit`]: an ordered list of nets holding structurally parallel
+//! gates, with the paper's Table II modifier API.
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use qtask_gates::GateKind;
+use qtask_util::{define_key, Arena, LinkedArena};
+
+define_key! {
+    /// Stable handle to a net.
+    pub struct NetId;
+}
+
+define_key! {
+    /// Stable handle to a gate instance.
+    pub struct GateId;
+}
+
+/// A group of structurally parallel gates (paper §III-B).
+#[derive(Clone, Debug, Default)]
+pub struct Net {
+    /// Gates in insertion order.
+    gate_ids: Vec<GateId>,
+    /// Union of qubit masks of the gates in this net.
+    occupied: u64,
+}
+
+impl Net {
+    /// Gates of this net in insertion order.
+    #[inline]
+    pub fn gates(&self) -> &[GateId] {
+        &self.gate_ids
+    }
+
+    /// Bitmask of qubits used by gates of this net.
+    #[inline]
+    pub fn occupied_mask(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Number of gates in this net.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gate_ids.len()
+    }
+
+    /// True if this net holds no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gate_ids.is_empty()
+    }
+}
+
+/// A quantum circuit over a fixed number of qubits.
+///
+/// Qubit `0` is the least significant bit of a computational-basis index
+/// (so the paper's `q4` in a 5-qubit circuit is bit 4, the MSB).
+#[derive(Clone)]
+pub struct Circuit {
+    num_qubits: u8,
+    nets: LinkedArena<Net>,
+    gates: Arena<(Gate, NetId)>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    ///
+    /// # Panics
+    /// Panics if `num_qubits` is zero or exceeds [`crate::MAX_QUBITS`].
+    pub fn new(num_qubits: u8) -> Circuit {
+        assert!(
+            num_qubits > 0 && num_qubits <= crate::MAX_QUBITS,
+            "unsupported qubit count {num_qubits}"
+        );
+        Circuit {
+            num_qubits,
+            nets: LinkedArena::new(),
+            gates: Arena::new(),
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> u8 {
+        self.num_qubits
+    }
+
+    /// Dimension of the state vector (`2^n`).
+    #[inline]
+    pub fn state_len(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Number of nets (the circuit depth in the paper's convention).
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    // ---- net modifiers -------------------------------------------------
+
+    /// Inserts an empty net at the front of the circuit.
+    pub fn insert_net_front(&mut self) -> NetId {
+        NetId(self.nets.push_front(Net::default()))
+    }
+
+    /// Inserts an empty net at the back of the circuit.
+    pub fn push_net(&mut self) -> NetId {
+        NetId(self.nets.push_back(Net::default()))
+    }
+
+    /// Inserts a new empty net right after `after` — the paper's
+    /// `insert_net` semantics.
+    pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
+        if !self.nets.contains(after.key()) {
+            return Err(CircuitError::StaleNet);
+        }
+        Ok(NetId(self.nets.insert_after(after.key(), Net::default())))
+    }
+
+    /// Inserts a new empty net right before `before`.
+    pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
+        if !self.nets.contains(before.key()) {
+            return Err(CircuitError::StaleNet);
+        }
+        Ok(NetId(self.nets.insert_before(before.key(), Net::default())))
+    }
+
+    /// Removes a net and all its gates, returning the removed gate ids.
+    pub fn remove_net(&mut self, net: NetId) -> Result<Vec<GateId>, CircuitError> {
+        let removed = self.nets.remove(net.key()).ok_or(CircuitError::StaleNet)?;
+        for gid in &removed.gate_ids {
+            self.gates.remove(gid.key());
+        }
+        Ok(removed.gate_ids)
+    }
+
+    // ---- gate modifiers ------------------------------------------------
+
+    /// Inserts a gate into an existing net.
+    ///
+    /// Fails if the net is stale, an operand is out of range, or the gate
+    /// would share a qubit with another gate of the net (the paper's
+    /// dependency-introducing insertion, which throws).
+    pub fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError> {
+        for &q in qubits {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        let gate = Gate::new(kind, qubits);
+        let net_ref = self
+            .nets
+            .get_mut(net.key())
+            .ok_or(CircuitError::StaleNet)?;
+        let mask = gate.qubit_mask();
+        if net_ref.occupied & mask != 0 {
+            let qubit = (net_ref.occupied & mask).trailing_zeros() as u8;
+            return Err(CircuitError::NetConflict { qubit });
+        }
+        let gid = GateId(self.gates.insert((gate, net)));
+        let net_ref = self.nets.get_mut(net.key()).expect("net just checked");
+        net_ref.gate_ids.push(gid);
+        net_ref.occupied |= mask;
+        Ok(gid)
+    }
+
+    /// Removes a gate from its net and the circuit.
+    pub fn remove_gate(&mut self, gate: GateId) -> Result<Gate, CircuitError> {
+        let (g, net) = self
+            .gates
+            .remove(gate.key())
+            .ok_or(CircuitError::StaleGate)?;
+        let net_ref = self
+            .nets
+            .get_mut(net.key())
+            .expect("gate's net must be live");
+        net_ref.gate_ids.retain(|id| *id != gate);
+        net_ref.occupied &= !g.qubit_mask();
+        Ok(g)
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// The gate behind `id`, if live.
+    pub fn gate(&self, id: GateId) -> Option<&Gate> {
+        self.gates.get(id.key()).map(|(g, _)| g)
+    }
+
+    /// The net a gate belongs to, if the gate is live.
+    pub fn gate_net(&self, id: GateId) -> Option<NetId> {
+        self.gates.get(id.key()).map(|(_, n)| *n)
+    }
+
+    /// The net behind `id`, if live.
+    pub fn net(&self, id: NetId) -> Option<&Net> {
+        self.nets.get(id.key())
+    }
+
+    /// First net in circuit order.
+    pub fn first_net(&self) -> Option<NetId> {
+        self.nets.head().map(NetId)
+    }
+
+    /// Last net in circuit order.
+    pub fn last_net(&self) -> Option<NetId> {
+        self.nets.tail().map(NetId)
+    }
+
+    /// The net after `id` in circuit order.
+    pub fn next_net(&self, id: NetId) -> Option<NetId> {
+        self.nets.next(id.key()).map(NetId)
+    }
+
+    /// The net before `id` in circuit order.
+    pub fn prev_net(&self, id: NetId) -> Option<NetId> {
+        self.nets.prev(id.key()).map(NetId)
+    }
+
+    /// Iterates net ids front-to-back.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.nets.keys().map(NetId)
+    }
+
+    /// Iterates `(NetId, &Net)` front-to-back.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().map(|(k, n)| (NetId(k), n))
+    }
+
+    /// Iterates every gate in net order (gates within a net in insertion
+    /// order). This is a valid serial execution order of the circuit.
+    pub fn ordered_gates(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.nets.iter().flat_map(move |(_, net)| {
+            net.gate_ids.iter().map(move |gid| {
+                let (g, _) = self.gates.get(gid.key()).expect("net gate is live");
+                (*gid, g)
+            })
+        })
+    }
+
+    /// All gates of a net.
+    pub fn net_gates(&self, id: NetId) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.nets
+            .get(id.key())
+            .into_iter()
+            .flat_map(move |net| {
+                net.gate_ids.iter().map(move |gid| {
+                    let (g, _) = self.gates.get(gid.key()).expect("net gate is live");
+                    (*gid, g)
+                })
+            })
+    }
+
+    /// Position of a net from the front (O(n); diagnostics and tests).
+    pub fn net_position(&self, id: NetId) -> Option<usize> {
+        self.nets.position(id.key())
+    }
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Circuit({} qubits, {} nets)", self.num_qubits, self.num_nets())?;
+        for (i, (_, net)) in self.nets.iter().enumerate() {
+            write!(f, "  net{}:", i + 1)?;
+            for gid in &net.gate_ids {
+                let (g, _) = &self.gates[gid.key()];
+                write!(f, " {}{:?}", g.kind().qasm_name(), g.qubits())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the paper's Figure 2 example: five qubits, one net of five
+/// Hadamards, then four CNOT nets (G6–G9). Returns the circuit plus the
+/// net and gate ids in the listing's naming.
+pub fn figure2_circuit() -> (Circuit, Vec<NetId>, Vec<GateId>) {
+    let mut ckt = Circuit::new(5);
+    let net1 = ckt.insert_net_front();
+    let net2 = ckt.insert_net_after(net1).unwrap();
+    let net3 = ckt.insert_net_after(net2).unwrap();
+    let net4 = ckt.insert_net_after(net3).unwrap();
+    let net5 = ckt.insert_net_after(net4).unwrap();
+    let (q4, q3, q2, q1, q0) = (4u8, 3, 2, 1, 0);
+    let g1 = ckt.insert_gate(GateKind::H, net1, &[q4]).unwrap();
+    let g2 = ckt.insert_gate(GateKind::H, net1, &[q3]).unwrap();
+    let g3 = ckt.insert_gate(GateKind::H, net1, &[q2]).unwrap();
+    let g4 = ckt.insert_gate(GateKind::H, net1, &[q1]).unwrap();
+    let g5 = ckt.insert_gate(GateKind::H, net1, &[q0]).unwrap();
+    // Listing 1 writes insert_gate(CNOT, net, target, control); in our
+    // [controls..., target] convention G6..G9 are:
+    let g6 = ckt.insert_gate(GateKind::Cx, net2, &[q4, q3]).unwrap();
+    let g7 = ckt.insert_gate(GateKind::Cx, net3, &[q4, q1]).unwrap();
+    let g8 = ckt.insert_gate(GateKind::Cx, net4, &[q3, q2]).unwrap();
+    let g9 = ckt.insert_gate(GateKind::Cx, net5, &[q2, q0]).unwrap();
+    (
+        ckt,
+        vec![net1, net2, net3, net4, net5],
+        vec![g1, g2, g3, g4, g5, g6, g7, g8, g9],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let (ckt, nets, gates) = figure2_circuit();
+        assert_eq!(ckt.num_qubits(), 5);
+        assert_eq!(ckt.num_nets(), 5);
+        assert_eq!(ckt.num_gates(), 9);
+        assert_eq!(ckt.net(nets[0]).unwrap().len(), 5);
+        assert_eq!(ckt.net(nets[0]).unwrap().occupied_mask(), 0b11111);
+        for n in &nets[1..] {
+            assert_eq!(ckt.net(*n).unwrap().len(), 1);
+        }
+        // G6 controls q4, targets q3.
+        let g6 = ckt.gate(gates[5]).unwrap();
+        assert_eq!(g6.controls(), &[4]);
+        assert_eq!(g6.targets(), &[3]);
+    }
+
+    #[test]
+    fn net_conflict_rejected() {
+        // Inserting G6 and G7 into the same net must throw (paper §III-B).
+        let mut ckt = Circuit::new(5);
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::Cx, net, &[4, 3]).unwrap();
+        let err = ckt.insert_gate(GateKind::Cx, net, &[4, 1]).unwrap_err();
+        assert_eq!(err, CircuitError::NetConflict { qubit: 4 });
+        // A disjoint gate is still fine.
+        ckt.insert_gate(GateKind::Cx, net, &[1, 0]).unwrap();
+    }
+
+    #[test]
+    fn qubit_range_checked() {
+        let mut ckt = Circuit::new(3);
+        let net = ckt.push_net();
+        let err = ckt.insert_gate(GateKind::H, net, &[3]).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 3, .. }));
+    }
+
+    #[test]
+    fn remove_gate_frees_qubits() {
+        let mut ckt = Circuit::new(4);
+        let net = ckt.push_net();
+        let g = ckt.insert_gate(GateKind::Cx, net, &[1, 0]).unwrap();
+        assert_eq!(ckt.net(net).unwrap().occupied_mask(), 0b11);
+        let gate = ckt.remove_gate(g).unwrap();
+        assert_eq!(gate.kind(), GateKind::Cx);
+        assert_eq!(ckt.net(net).unwrap().occupied_mask(), 0);
+        assert_eq!(ckt.remove_gate(g), Err(CircuitError::StaleGate));
+        // Qubits are free again.
+        ckt.insert_gate(GateKind::Cx, net, &[0, 1]).unwrap();
+    }
+
+    #[test]
+    fn remove_net_removes_gates() {
+        let (mut ckt, nets, gates) = figure2_circuit();
+        let removed = ckt.remove_net(nets[0]).unwrap();
+        assert_eq!(removed.len(), 5);
+        assert_eq!(ckt.num_nets(), 4);
+        assert_eq!(ckt.num_gates(), 4);
+        assert!(ckt.gate(gates[0]).is_none());
+        assert!(ckt.gate(gates[5]).is_some());
+        assert_eq!(ckt.remove_net(nets[0]).unwrap_err(), CircuitError::StaleNet);
+    }
+
+    #[test]
+    fn net_order_walks() {
+        let (ckt, nets, _) = figure2_circuit();
+        assert_eq!(ckt.first_net(), Some(nets[0]));
+        assert_eq!(ckt.last_net(), Some(nets[4]));
+        assert_eq!(ckt.next_net(nets[1]), Some(nets[2]));
+        assert_eq!(ckt.prev_net(nets[1]), Some(nets[0]));
+        let order: Vec<NetId> = ckt.net_ids().collect();
+        assert_eq!(order, nets);
+    }
+
+    #[test]
+    fn insert_net_positions() {
+        let mut ckt = Circuit::new(2);
+        let b = ckt.push_net();
+        let a = ckt.insert_net_before(b).unwrap();
+        let c = ckt.insert_net_after(b).unwrap();
+        let front = ckt.insert_net_front();
+        let order: Vec<NetId> = ckt.net_ids().collect();
+        assert_eq!(order, vec![front, a, b, c]);
+    }
+
+    #[test]
+    fn ordered_gates_follows_nets() {
+        let (ckt, _, gates) = figure2_circuit();
+        let ids: Vec<GateId> = ckt.ordered_gates().map(|(id, _)| id).collect();
+        assert_eq!(ids, gates);
+    }
+}

@@ -1,0 +1,50 @@
+//! Errors raised by circuit modifiers.
+
+/// Why a circuit modifier was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate operand exceeds the circuit's qubit count.
+    QubitOutOfRange {
+        /// The offending operand.
+        qubit: u8,
+        /// The circuit's qubit count.
+        num_qubits: u8,
+    },
+    /// A gate would share a qubit with an existing gate in the same net —
+    /// the dependency-introducing insertion the paper rejects with an
+    /// exception.
+    NetConflict {
+        /// The first conflicting qubit.
+        qubit: u8,
+    },
+    /// The referenced net no longer exists.
+    StaleNet,
+    /// The referenced gate no longer exists.
+    StaleGate,
+    /// The requested qubit count exceeds [`crate::MAX_QUBITS`].
+    TooManyQubits {
+        /// Requested count.
+        requested: u8,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::NetConflict { qubit } => write!(
+                f,
+                "gate insertion introduces an intra-net dependency on qubit {qubit}"
+            ),
+            CircuitError::StaleNet => write!(f, "referenced net was removed"),
+            CircuitError::StaleGate => write!(f, "referenced gate was removed"),
+            CircuitError::TooManyQubits { requested } => {
+                write!(f, "{requested} qubits exceeds the supported maximum of {}", crate::MAX_QUBITS)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

@@ -1,0 +1,125 @@
+//! Gate instances: a kind plus concrete qubit operands.
+
+use qtask_gates::GateKind;
+
+/// A gate placed in a circuit.
+///
+/// Operand order follows [`GateKind`]'s convention:
+/// `[controls..., target]` for controlled kinds, `[a, b]` for `Swap`,
+/// `[control, a, b]` for `Cswap`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gate {
+    kind: GateKind,
+    qubits: [u8; 3],
+}
+
+impl Gate {
+    /// Builds a gate, validating only arity (range checks happen at
+    /// circuit insertion).
+    ///
+    /// # Panics
+    /// Panics if `qubits.len()` does not match the kind's arity or a qubit
+    /// repeats.
+    pub fn new(kind: GateKind, qubits: &[u8]) -> Gate {
+        assert_eq!(
+            qubits.len(),
+            kind.arity(),
+            "gate {kind:?} expects {} operands",
+            kind.arity()
+        );
+        for (i, a) in qubits.iter().enumerate() {
+            for b in &qubits[i + 1..] {
+                assert_ne!(a, b, "gate {kind:?} repeats qubit {a}");
+            }
+        }
+        let mut q = [0u8; 3];
+        q[..qubits.len()].copy_from_slice(qubits);
+        Gate { kind, qubits: q }
+    }
+
+    /// The gate's kind.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// All operands, controls first.
+    #[inline]
+    pub fn qubits(&self) -> &[u8] {
+        &self.qubits[..self.kind.arity()]
+    }
+
+    /// Control operands (possibly empty).
+    #[inline]
+    pub fn controls(&self) -> &[u8] {
+        &self.qubits[..self.kind.num_controls()]
+    }
+
+    /// Non-control operands: one target, or two for the swap family.
+    #[inline]
+    pub fn targets(&self) -> &[u8] {
+        &self.qubits[self.kind.num_controls()..self.kind.arity()]
+    }
+
+    /// Bitmask over qubits this gate touches.
+    pub fn qubit_mask(&self) -> u64 {
+        self.qubits().iter().fold(0u64, |m, q| m | (1 << q))
+    }
+
+    /// Bitmask over control qubits.
+    pub fn control_mask(&self) -> u64 {
+        self.controls().iter().fold(0u64, |m, q| m | (1 << q))
+    }
+
+    /// The adjoint (inverse) gate on the same operands.
+    pub fn adjoint(&self) -> Gate {
+        Gate {
+            kind: self.kind.adjoint(),
+            qubits: self.qubits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_split() {
+        let g = Gate::new(GateKind::Ccx, &[4, 2, 0]);
+        assert_eq!(g.controls(), &[4, 2]);
+        assert_eq!(g.targets(), &[0]);
+        assert_eq!(g.qubit_mask(), 0b10101);
+        assert_eq!(g.control_mask(), 0b10100);
+    }
+
+    #[test]
+    fn swap_targets() {
+        let g = Gate::new(GateKind::Swap, &[3, 1]);
+        assert!(g.controls().is_empty());
+        assert_eq!(g.targets(), &[3, 1]);
+        let f = Gate::new(GateKind::Cswap, &[0, 3, 1]);
+        assert_eq!(f.controls(), &[0]);
+        assert_eq!(f.targets(), &[3, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let _ = Gate::new(GateKind::H, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_qubit_panics() {
+        let _ = Gate::new(GateKind::Cx, &[2, 2]);
+    }
+
+    #[test]
+    fn adjoint_keeps_operands() {
+        let g = Gate::new(GateKind::Crz(0.5), &[1, 0]);
+        let a = g.adjoint();
+        assert_eq!(a.kind(), GateKind::Crz(-0.5));
+        assert_eq!(a.qubits(), g.qubits());
+    }
+}

@@ -1,0 +1,566 @@
+//! The [`Ckt`] engine: modifiers, frontier bookkeeping, incremental update.
+
+use crate::config::{RowOrderPolicy, SimConfig};
+use crate::cow::RowVector;
+use crate::exec::{self, ExecView};
+use crate::row::{DenseFactor, PartId, Partition, Row, RowId, RowKind};
+use qtask_circuit::{Circuit, CircuitError, Gate, GateId, NetId};
+use qtask_gates::GateKind;
+use qtask_partition::{derive_partitions, BlockGeometry, LoweredGate, PartitionSpec};
+use qtask_taskflow::{Executor, Taskflow};
+use qtask_util::{Arena, LinkedArena};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a live gate maps onto simulation rows.
+pub(crate) enum GateSim {
+    /// The gate changes nothing (identity); it has no row.
+    Identity,
+    /// A non-superposition gate with its own row.
+    LinearRow(RowId),
+    /// A superposition gate folded into the given MxV row (whose sync row
+    /// is the second id).
+    DenseInMxV(RowId, RowId),
+}
+
+/// Per-net simulation bookkeeping.
+#[derive(Default)]
+pub(crate) struct NetSim {
+    /// `(sync, mxv)` row pairs in row order. The paper uses one pair per
+    /// net; we chain several once a group exceeds
+    /// [`SimConfig::mxv_group_max`].
+    pub(crate) mxv_pairs: Vec<(RowId, RowId)>,
+    /// Linear rows of this net, in row order.
+    pub(crate) linear: Vec<RowId>,
+}
+
+impl NetSim {
+    fn first_row(&self) -> Option<RowId> {
+        self.mxv_pairs
+            .first()
+            .map(|(sync, _)| *sync)
+            .or_else(|| self.linear.first().copied())
+    }
+
+    fn last_row(&self) -> Option<RowId> {
+        self.linear
+            .last()
+            .copied()
+            .or_else(|| self.mxv_pairs.last().map(|(_, mxv)| *mxv))
+    }
+}
+
+/// Statistics returned by [`Ckt::update_state`].
+#[derive(Clone, Debug, Default)]
+pub struct UpdateReport {
+    /// Partitions executed this update (0 when the frontier was empty).
+    pub partitions_executed: usize,
+    /// Total intra-partition tasks spawned.
+    pub tasks_executed: usize,
+    /// Wall-clock time of the update.
+    pub elapsed: Duration,
+    /// Time spent deriving the dirty set and building the task graph
+    /// (serial, on the calling thread).
+    pub build_elapsed: Duration,
+    /// Time spent executing the task graph on the worker pool.
+    pub run_elapsed: Duration,
+}
+
+/// The qTask simulator object (paper Listing 1's `qTask ckt(5)`).
+///
+/// Wraps a [`Circuit`] and maintains, incrementally under every modifier:
+/// per-row copy-on-write state vectors, the partition task graph, and the
+/// frontier list that seeds [`Ckt::update_state`].
+///
+/// Queries reflect the state as of the last `update_state`; call it after
+/// a batch of modifiers before querying (the paper's usage model).
+pub struct Ckt {
+    pub(crate) circuit: Circuit,
+    pub(crate) geom: BlockGeometry,
+    pub(crate) config: SimConfig,
+    pub(crate) executor: Arc<Executor>,
+    pub(crate) rows: LinkedArena<Row>,
+    pub(crate) parts: Arena<Partition>,
+    pub(crate) net_sim: HashMap<NetId, NetSim>,
+    pub(crate) gate_sim: HashMap<GateId, GateSim>,
+    pub(crate) frontier: HashSet<PartId>,
+    gate_seq: u64,
+}
+
+impl Ckt {
+    /// Creates an engine with default configuration.
+    pub fn new(num_qubits: u8) -> Ckt {
+        Ckt::with_config(num_qubits, SimConfig::default())
+    }
+
+    /// Creates an engine with explicit configuration (its own executor).
+    pub fn with_config(num_qubits: u8, config: SimConfig) -> Ckt {
+        let executor = Arc::new(Executor::new(config.num_threads));
+        Ckt::with_executor(num_qubits, config, executor)
+    }
+
+    /// Creates an engine sharing an existing executor — useful when many
+    /// `Ckt`s are built in a loop (benchmarks) and worker threads should
+    /// be reused.
+    pub fn with_executor(num_qubits: u8, config: SimConfig, executor: Arc<Executor>) -> Ckt {
+        let geom = BlockGeometry::new(num_qubits, config.block_size);
+        Ckt {
+            circuit: Circuit::new(num_qubits),
+            geom,
+            config,
+            executor,
+            rows: LinkedArena::new(),
+            parts: Arena::new(),
+            net_sim: HashMap::new(),
+            gate_sim: HashMap::new(),
+            frontier: HashSet::new(),
+            gate_seq: 0,
+        }
+    }
+
+    /// Builds an engine by replaying an existing circuit net-by-net.
+    pub fn from_circuit(circuit: &Circuit, config: SimConfig) -> Ckt {
+        let executor = Arc::new(Executor::new(config.num_threads));
+        Ckt::from_circuit_with_executor(circuit, config, executor)
+    }
+
+    /// [`Ckt::from_circuit`] with a shared executor.
+    pub fn from_circuit_with_executor(
+        circuit: &Circuit,
+        config: SimConfig,
+        executor: Arc<Executor>,
+    ) -> Ckt {
+        let mut ckt = Ckt::with_executor(circuit.num_qubits(), config, executor);
+        for src_net in circuit.net_ids() {
+            let net = ckt.push_net();
+            for (_, gate) in circuit.net_gates(src_net) {
+                ckt.insert_gate(gate.kind(), net, gate.qubits())
+                    .expect("replaying a valid circuit cannot fail");
+            }
+        }
+        ckt
+    }
+
+    // ---- structure queries ----------------------------------------------
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u8 {
+        self.circuit.num_qubits()
+    }
+
+    /// The wrapped circuit (read-only).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Block geometry in use.
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geom
+    }
+
+    /// The executor in use.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// Number of live partitions (task-graph nodes).
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of live rows (COW layers).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Current frontier size (partitions awaiting update).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    // ---- circuit modifiers ----------------------------------------------
+
+    /// Inserts an empty net at the front.
+    pub fn insert_net_front(&mut self) -> NetId {
+        let id = self.circuit.insert_net_front();
+        self.net_sim.insert(id, NetSim::default());
+        id
+    }
+
+    /// Appends an empty net at the back.
+    pub fn push_net(&mut self) -> NetId {
+        let id = self.circuit.push_net();
+        self.net_sim.insert(id, NetSim::default());
+        id
+    }
+
+    /// Inserts an empty net right after `after` (the paper's `insert_net`).
+    pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
+        let id = self.circuit.insert_net_after(after)?;
+        self.net_sim.insert(id, NetSim::default());
+        Ok(id)
+    }
+
+    /// Inserts an empty net right before `before`.
+    pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
+        let id = self.circuit.insert_net_before(before)?;
+        self.net_sim.insert(id, NetSim::default());
+        Ok(id)
+    }
+
+    /// Removes a net and all its gates.
+    pub fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
+        if self.circuit.net(net).is_none() {
+            return Err(CircuitError::StaleNet);
+        }
+        let gate_ids: Vec<GateId> = self.circuit.net(net).unwrap().gates().to_vec();
+        for gid in gate_ids {
+            self.remove_gate(gid)?;
+        }
+        self.circuit.remove_net(net)?;
+        self.net_sim.remove(&net);
+        Ok(())
+    }
+
+    /// Inserts a gate into a net, restructuring the partition graph and
+    /// recording its partitions as frontier (paper §III-D, Figure 8/9).
+    pub fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError> {
+        let gid = self.circuit.insert_gate(kind, net, qubits)?;
+        self.gate_seq += 1;
+        let seq = self.gate_seq;
+        let gate = *self.circuit.gate(gid).expect("gate just inserted");
+        let lowered = qtask_partition::lower_gate(
+            gate.kind(),
+            gate.control_mask(),
+            gate.targets(),
+        );
+        match lowered {
+            LoweredGate::Identity => {
+                self.gate_sim.insert(gid, GateSim::Identity);
+            }
+            LoweredGate::Linear(op) => {
+                let row_id = self.create_linear_row(gid, net, op, seq);
+                self.gate_sim.insert(gid, GateSim::LinearRow(row_id));
+            }
+            LoweredGate::Dense {
+                controls,
+                target,
+                mat,
+            } => {
+                let (mxv, sync) = self.add_dense_factor(
+                    net,
+                    DenseFactor {
+                        gate: gid,
+                        controls,
+                        target,
+                        mat,
+                    },
+                );
+                self.gate_sim.insert(gid, GateSim::DenseInMxV(mxv, sync));
+            }
+        }
+        Ok(gid)
+    }
+
+    /// Removes a gate, reconnecting the partition graph across the hole
+    /// and recording the removed partitions' successors as frontier
+    /// (paper §III-D, Figure 7).
+    pub fn remove_gate(&mut self, gate: GateId) -> Result<Gate, CircuitError> {
+        let net = self.circuit.gate_net(gate).ok_or(CircuitError::StaleGate)?;
+        let removed = self.circuit.remove_gate(gate)?;
+        match self.gate_sim.remove(&gate).expect("gate had sim info") {
+            GateSim::Identity => {}
+            GateSim::LinearRow(row_id) => {
+                self.remove_row(row_id);
+                let sim = self.net_sim.get_mut(&net).expect("net is live");
+                sim.linear.retain(|r| *r != row_id);
+            }
+            GateSim::DenseInMxV(mxv, sync) => {
+                let row = self.rows.get_mut(mxv.key()).expect("MxV row is live");
+                row.dense.retain(|f| f.gate != gate);
+                if row.dense.is_empty() {
+                    // The group lost its last gate: drop this MxV + sync
+                    // pair.
+                    let sim = self.net_sim.get_mut(&net).expect("net is live");
+                    sim.mxv_pairs.retain(|(s, m)| (*s, *m) != (sync, mxv));
+                    self.remove_row(mxv);
+                    self.remove_row(sync);
+                } else {
+                    // The grouped operator changed: re-simulate all its
+                    // partitions.
+                    let parts = self.rows[mxv.key()].parts.clone();
+                    self.frontier.extend(parts);
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    // ---- row construction helpers ---------------------------------------
+
+    /// The row after which this net's rows begin: the last row of the
+    /// nearest preceding net that has rows (None = global front).
+    fn net_anchor(&self, net: NetId) -> Option<RowId> {
+        let mut cur = self.circuit.prev_net(net);
+        while let Some(n) = cur {
+            if let Some(r) = self.net_sim.get(&n).and_then(|s| s.last_row()) {
+                return Some(r);
+            }
+            cur = self.circuit.prev_net(n);
+        }
+        None
+    }
+
+    /// Inserts a fresh row into the global order right after `after`
+    /// (or at the front).
+    fn insert_row_after(&mut self, after: Option<RowId>, row: Row) -> RowId {
+        match after {
+            Some(a) => RowId(self.rows.insert_after(a.key(), row)),
+            None => RowId(self.rows.push_front(row)),
+        }
+    }
+
+    fn new_row(&self, net: NetId, kind: RowKind, gate: Option<GateId>, label: String) -> Row {
+        Row {
+            net,
+            kind,
+            gate,
+            dense: Vec::new(),
+            parts: Vec::new(),
+            vector: RowVector::new(self.geom.num_blocks(), self.geom.block_size()),
+            max_part_blocks: 0,
+            label: std::sync::Arc::from(label),
+        }
+    }
+
+    fn create_linear_row(
+        &mut self,
+        gid: GateId,
+        net: NetId,
+        op: qtask_partition::LinearOp,
+        seq: u64,
+    ) -> RowId {
+        let specs = derive_partitions(&op.pattern(self.num_qubits()), &self.geom);
+        let max_blocks = specs.iter().map(|s| s.num_blocks()).max().unwrap_or(0);
+        let label = format!("G{seq}");
+        let mut row = self.new_row(net, RowKind::Linear(op), Some(gid), label);
+        row.max_part_blocks = max_blocks;
+        // Position within the net per the row-order policy: linear rows go
+        // after the net's sync/MxV rows; Sorted keeps them by ascending
+        // max partition block count.
+        let sim = self.net_sim.get(&net).expect("net is live");
+        let insert_idx = match self.config.row_order {
+            RowOrderPolicy::SortedByBlockCount => sim
+                .linear
+                .iter()
+                .position(|r| self.rows[r.key()].max_part_blocks > max_blocks)
+                .unwrap_or(sim.linear.len()),
+            RowOrderPolicy::Append => sim.linear.len(),
+        };
+        let row_id = if insert_idx < sim.linear.len() {
+            let before = sim.linear[insert_idx];
+            RowId(self.rows.insert_before(before.key(), row))
+        } else {
+            // After the net's current last row, or after the net anchor.
+            let after = sim.last_row().or_else(|| self.net_anchor(net));
+            self.insert_row_after(after, row)
+        };
+        self.net_sim
+            .get_mut(&net)
+            .expect("net is live")
+            .linear
+            .insert(insert_idx, row_id);
+        // Create + link partitions.
+        let pids = self.create_partitions(row_id, specs);
+        for pid in &pids {
+            self.link_partition(*pid);
+        }
+        self.frontier.extend(pids);
+        row_id
+    }
+
+    /// Adds a dense factor to the net's newest MxV row with spare
+    /// capacity, or opens a fresh sync+MxV pair. Returns `(mxv, sync)`.
+    fn add_dense_factor(&mut self, net: NetId, factor: DenseFactor) -> (RowId, RowId) {
+        let sim = self.net_sim.get(&net).expect("net is live");
+        if let Some(&(sync, mxv)) = sim.mxv_pairs.last() {
+            if self.rows[mxv.key()].dense.len() < self.config.mxv_group_max {
+                let row = self.rows.get_mut(mxv.key()).expect("MxV row is live");
+                row.dense.push(factor);
+                row.dense.sort_by_key(|f| f.target);
+                let parts = self.rows[mxv.key()].parts.clone();
+                self.frontier.extend(parts);
+                return (mxv, sync);
+            }
+        }
+        // Open a new sync + MxV pair: after the net's last MxV row, before
+        // its linear rows ("we first group superposition gates…").
+        let net_label = self.circuit.net_position(net).unwrap_or(0) + 1;
+        let group_idx = sim.mxv_pairs.len();
+        let anchor = match sim.mxv_pairs.last() {
+            Some(&(_, last_mxv)) => Some(last_mxv),
+            None => match sim.first_row() {
+                Some(f) => self.rows.prev(f.key()).map(RowId),
+                None => self.net_anchor(net),
+            },
+        };
+        let sync_row_id = self.insert_row_after(
+            anchor,
+            self.new_row(
+                net,
+                RowKind::Sync,
+                None,
+                format!("sync{group_idx}(net{net_label})"),
+            ),
+        );
+        let mut mxv_row = self.new_row(
+            net,
+            RowKind::MxV,
+            None,
+            format!("MxV{group_idx}(net{net_label})"),
+        );
+        mxv_row.dense.push(factor);
+        mxv_row.max_part_blocks = 1;
+        let mxv_row_id = RowId(self.rows.insert_after(sync_row_id.key(), mxv_row));
+        self.net_sim
+            .get_mut(&net)
+            .expect("net is live")
+            .mxv_pairs
+            .push((sync_row_id, mxv_row_id));
+        // Sync: one full-range partition (a pure barrier, owns no data).
+        let nb = self.geom.num_blocks() as u32;
+        let sync_pids = self.create_partitions(
+            sync_row_id,
+            vec![PartitionSpec {
+                block_lo: 0,
+                block_hi: nb - 1,
+                item_start: 0,
+                item_end: 0,
+            }],
+        );
+        self.link_partition(sync_pids[0]);
+        // MxV: one partition per block.
+        let mxv_specs: Vec<PartitionSpec> = (0..nb)
+            .map(|b| PartitionSpec {
+                block_lo: b,
+                block_hi: b,
+                item_start: 0,
+                item_end: 0,
+            })
+            .collect();
+        let mxv_pids = self.create_partitions(mxv_row_id, mxv_specs);
+        for pid in &mxv_pids {
+            self.link_partition(*pid);
+        }
+        self.frontier.extend(mxv_pids);
+        (mxv_row_id, sync_row_id)
+    }
+
+    fn create_partitions(&mut self, row_id: RowId, specs: Vec<PartitionSpec>) -> Vec<PartId> {
+        let pids: Vec<PartId> = specs
+            .into_iter()
+            .map(|spec| PartId(self.parts.insert(Partition::new(row_id, spec))))
+            .collect();
+        self.rows[row_id.key()].parts = pids.clone();
+        pids
+    }
+
+    // ---- incremental update ----------------------------------------------
+
+    /// Re-simulates the partitions reachable from the frontier (paper
+    /// §III-E). With a freshly built circuit every partition is frontier,
+    /// so the first call is a full simulation.
+    pub fn update_state(&mut self) -> UpdateReport {
+        let t0 = Instant::now();
+        if self.frontier.is_empty() {
+            return UpdateReport::default();
+        }
+        // DFS over successor edges: the dirty set is successor-closed.
+        let mut dirty: HashSet<PartId> = HashSet::new();
+        let mut stack: Vec<PartId> = self
+            .frontier
+            .iter()
+            .copied()
+            .filter(|p| self.parts.contains(p.key()))
+            .collect();
+        while let Some(p) = stack.pop() {
+            if dirty.insert(p) {
+                stack.extend(self.parts[p.key()].succs.iter().copied());
+            }
+        }
+        // Build the task graph over dirty partitions only; clean
+        // predecessors' outputs are already materialized.
+        let chunk = self.geom.block_size() as u64;
+        let view = ExecView {
+            rows: &self.rows,
+            parts: &self.parts,
+            geom: self.geom,
+            n_qubits: self.circuit.num_qubits(),
+        };
+        let mut tf = Taskflow::new("update_state");
+        let mut task_of: HashMap<PartId, qtask_taskflow::TaskRef> =
+            HashMap::with_capacity(dirty.len());
+        let mut tasks_executed = 0usize;
+        for &pid in &dirty {
+            let part = &self.parts[pid.key()];
+            let row = &self.rows[part.row.key()];
+            let label = std::sync::Arc::clone(&row.label);
+            let node = match row.kind {
+                RowKind::Sync => tf.emplace_empty(label),
+                RowKind::MxV => {
+                    tasks_executed += 1;
+                    tf.emplace(label, move || exec::exec_mxv_partition(view, pid))
+                }
+                RowKind::Linear(_) => {
+                    let n_tasks = part.spec.num_tasks(chunk);
+                    tasks_executed += n_tasks as usize;
+                    if n_tasks <= 1 {
+                        let ranks = part.spec.item_start..part.spec.item_end;
+                        tf.emplace(label, move || {
+                            exec::exec_linear_partition(view, pid, ranks.clone())
+                        })
+                    } else {
+                        // Intra-gate operation parallelism: one subflow
+                        // child per task of `block_size` items (Figure 6).
+                        let spec = part.spec.clone();
+                        let child_label = std::sync::Arc::clone(&label);
+                        tf.emplace_subflow(std::sync::Arc::clone(&label), move |sf| {
+                            for ranks in spec.task_ranges(chunk) {
+                                sf.task(std::sync::Arc::clone(&child_label), move || {
+                                    exec::exec_linear_partition(view, pid, ranks)
+                                });
+                            }
+                        })
+                    }
+                }
+            };
+            task_of.insert(pid, node);
+        }
+        for &pid in &dirty {
+            let node = task_of[&pid];
+            for s in &self.parts[pid.key()].succs {
+                if let Some(&succ_node) = task_of.get(s) {
+                    tf.precede(node, succ_node);
+                }
+            }
+        }
+        let build_elapsed = t0.elapsed();
+        let t1 = Instant::now();
+        self.executor.run(&tf);
+        let run_elapsed = t1.elapsed();
+        self.frontier.clear();
+        UpdateReport {
+            partitions_executed: dirty.len(),
+            tasks_executed,
+            elapsed: t0.elapsed(),
+            build_elapsed,
+            run_elapsed,
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Partition execution kernels over copy-on-write blocks.
+//!
+//! A linear partition task materializes fresh copies of the blocks its
+//! items touch (reading through the COW chain of the *previous* row),
+//! applies the swap/scale items, and publishes the blocks into its row's
+//! vector. Distinct tasks of one partition touch disjoint blocks — the
+//! chunk size equals the power-of-two block size and task boundaries align
+//! with the scattered-bit structure of the item pattern — so tasks
+//! publish independently with no synchronization beyond the slot locks.
+//!
+//! An MxV partition computes one output block of the net's grouped
+//! superposition operator: for each output amplitude it expands the
+//! contributing source indices on the fly ("recursive tensor products…
+//! stop at zero and identity patterns"), reads sources through the COW
+//! chain, and publishes the block.
+
+use crate::cow::Resolved;
+use crate::row::{PartId, Partition, Row, RowId, RowKind};
+use qtask_num::Complex64;
+use qtask_partition::{BlockGeometry, LinearOp};
+use qtask_util::{Arena, LinkedArena};
+
+/// Shared read-only view of the engine internals used by executing tasks.
+/// Mutation happens only through the row vectors' slot locks.
+#[derive(Clone, Copy)]
+pub struct ExecView<'a> {
+    /// All rows in order.
+    pub rows: &'a LinkedArena<Row>,
+    /// All partitions.
+    pub parts: &'a Arena<Partition>,
+    /// Block geometry.
+    pub geom: BlockGeometry,
+    /// Qubit count.
+    pub n_qubits: u8,
+}
+
+impl<'a> ExecView<'a> {
+    /// Resolves block `b` as seen *before* `row` (i.e. the previous row's
+    /// logical content), walking the COW chain.
+    pub fn resolve_before(&self, row: RowId, b: usize) -> Resolved {
+        let mut cur = self.rows.prev(row.key());
+        while let Some(k) = cur {
+            if let Some(data) = self.rows[k].vector.owned(b) {
+                return Resolved::Data(data);
+            }
+            cur = self.rows.prev(k);
+        }
+        Resolved::Initial
+    }
+}
+
+/// A small ordered working set of materialized blocks for one task.
+struct BlockSet {
+    entries: Vec<(usize, Vec<Complex64>)>,
+}
+
+impl BlockSet {
+    fn new() -> BlockSet {
+        BlockSet {
+            entries: Vec::with_capacity(4),
+        }
+    }
+
+    /// Index of block `b`, materializing it from `view` if needed. The
+    /// row's stale output buffer for `b` is reclaimed when uniquely owned,
+    /// so repeated incremental updates allocate nothing.
+    fn ensure(&mut self, view: &ExecView<'_>, row_id: RowId, row: &Row, b: usize) -> usize {
+        // Blocks arrive in short runs; scan from the back.
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .rposition(|(blk, _)| *blk == b)
+        {
+            return pos;
+        }
+        let resolved = view.resolve_before(row_id, b);
+        let data = match row.vector.take_reusable(b) {
+            Some(mut buf) => {
+                resolved.fill_into(b, &mut buf);
+                buf
+            }
+            None => resolved.to_vec(b, view.geom.block_size()),
+        };
+        self.entries.push((b, data));
+        self.entries.len() - 1
+    }
+
+    /// Two distinct mutable buffers.
+    fn pair_mut(&mut self, i: usize, j: usize) -> (&mut Vec<Complex64>, &mut Vec<Complex64>) {
+        debug_assert_ne!(i, j);
+        if i < j {
+            let (a, b) = self.entries.split_at_mut(j);
+            (&mut a[i].1, &mut b[0].1)
+        } else {
+            let (a, b) = self.entries.split_at_mut(i);
+            (&mut b[0].1, &mut a[j].1)
+        }
+    }
+}
+
+/// Executes the item-rank range `ranks` of a linear partition: the body of
+/// one intra-partition task.
+pub fn exec_linear_partition(view: ExecView<'_>, pid: PartId, ranks: std::ops::Range<u64>) {
+    let part = &view.parts[pid.key()];
+    let row_id = part.row;
+    let row = &view.rows[row_id.key()];
+    let RowKind::Linear(op) = row.kind else {
+        unreachable!("linear execution on non-linear row");
+    };
+    let pattern = op.pattern(view.n_qubits);
+    let geom = &view.geom;
+    let mut blocks = BlockSet::new();
+    for low in pattern.iter_lows(ranks) {
+        let low = low as usize;
+        match op {
+            LinearOp::Diag { target, d0, d1, .. } => {
+                let pos = blocks.ensure(&view, row_id, row, geom.block_of(low));
+                let off = geom.offset_in_block(low);
+                let d = if low & (1usize << target) != 0 { d1 } else { d0 };
+                let v = &mut blocks.entries[pos].1[off];
+                *v = *v * d;
+            }
+            LinearOp::AntiDiag { a01, a10, .. } => {
+                let high = pattern.partner(low as u64) as usize;
+                let (bl, bh) = (geom.block_of(low), geom.block_of(high));
+                let (ol, oh) = (geom.offset_in_block(low), geom.offset_in_block(high));
+                if bl == bh {
+                    let pos = blocks.ensure(&view, row_id, row, bl);
+                    let buf = &mut blocks.entries[pos].1;
+                    let (x, y) = (buf[ol], buf[oh]);
+                    buf[ol] = a01 * y;
+                    buf[oh] = a10 * x;
+                } else {
+                    let pl = blocks.ensure(&view, row_id, row, bl);
+                    let ph = blocks.ensure(&view, row_id, row, bh);
+                    let (bufl, bufh) = blocks.pair_mut(pl, ph);
+                    let (x, y) = (bufl[ol], bufh[oh]);
+                    bufl[ol] = a01 * y;
+                    bufh[oh] = a10 * x;
+                }
+            }
+            LinearOp::Swap { .. } => {
+                let high = pattern.partner(low as u64) as usize;
+                let (bl, bh) = (geom.block_of(low), geom.block_of(high));
+                let (ol, oh) = (geom.offset_in_block(low), geom.offset_in_block(high));
+                if bl == bh {
+                    let pos = blocks.ensure(&view, row_id, row, bl);
+                    blocks.entries[pos].1.swap(ol, oh);
+                } else {
+                    let pl = blocks.ensure(&view, row_id, row, bl);
+                    let ph = blocks.ensure(&view, row_id, row, bh);
+                    let (bufl, bufh) = blocks.pair_mut(pl, ph);
+                    std::mem::swap(&mut bufl[ol], &mut bufh[oh]);
+                }
+            }
+        }
+    }
+    // Publish: tasks of one partition touch disjoint blocks, so these
+    // publications never collide.
+    for (b, buf) in blocks.entries {
+        row.vector.publish(b, std::sync::Arc::new(buf));
+    }
+}
+
+/// Executes one MxV partition: computes its single output block of the
+/// net's grouped superposition operator.
+pub fn exec_mxv_partition(view: ExecView<'_>, pid: PartId) {
+    let part = &view.parts[pid.key()];
+    let row_id = part.row;
+    let row = &view.rows[row_id.key()];
+    debug_assert!(matches!(row.kind, RowKind::MxV));
+    debug_assert_eq!(part.spec.block_lo, part.spec.block_hi);
+    let block = part.spec.block_lo as usize;
+    let geom = &view.geom;
+    let bs = geom.block_size();
+    let base = block * bs;
+    let mut out = row
+        .vector
+        .take_reusable(block)
+        .unwrap_or_else(|| vec![Complex64::ZERO; bs]);
+    // Resolved source-block cache (sources cluster into few blocks).
+    let mut cache: Vec<(usize, Resolved)> = Vec::with_capacity(4);
+    // Scratch contribution lists, reused across output amplitudes.
+    let mut contrib: Vec<(u64, Complex64)> = Vec::with_capacity(8);
+    let mut next: Vec<(u64, Complex64)> = Vec::with_capacity(8);
+    let tol = qtask_gates::class::CLASSIFY_TOL;
+    for (off, out_v) in out.iter_mut().enumerate() {
+        let i = (base + off) as u64;
+        contrib.clear();
+        contrib.push((i, Complex64::ONE));
+        for f in &row.dense {
+            if i & f.controls != f.controls {
+                continue; // identity row of this factor
+            }
+            let tbit = 1u64 << f.target;
+            let out_bit = usize::from(i & tbit != 0);
+            next.clear();
+            for &(src, coef) in &contrib {
+                for (in_bit, m) in [(0usize, f.mat.at(out_bit, 0)), (1, f.mat.at(out_bit, 1))] {
+                    if m.is_zero(tol) {
+                        continue;
+                    }
+                    let nsrc = if in_bit == 0 { src & !tbit } else { src | tbit };
+                    next.push((nsrc, coef * m));
+                }
+            }
+            std::mem::swap(&mut contrib, &mut next);
+        }
+        let mut acc = Complex64::ZERO;
+        for &(src, coef) in &contrib {
+            let sb = geom.block_of(src as usize);
+            let so = geom.offset_in_block(src as usize);
+            let resolved = match cache.iter().rposition(|(b, _)| *b == sb) {
+                Some(pos) => &cache[pos].1,
+                None => {
+                    let r = view.resolve_before(row_id, sb);
+                    cache.push((sb, r));
+                    &cache.last().unwrap().1
+                }
+            };
+            acc += coef * resolved.read(sb, so);
+        }
+        *out_v = acc;
+    }
+    row.vector.publish(block, std::sync::Arc::new(out));
+}

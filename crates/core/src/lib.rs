@@ -1,0 +1,42 @@
+//! The qTask engine: task-parallel incremental quantum circuit simulation.
+//!
+//! [`Ckt`] is the crate's public type, mirroring the paper's `qTask ckt(5)`
+//! object. Its API falls into the paper's three categories (§III-B):
+//!
+//! * **Circuit modifiers** — [`Ckt::insert_net_after`], [`Ckt::remove_net`],
+//!   [`Ckt::insert_gate`], [`Ckt::remove_gate`] (Table II). Every modifier
+//!   incrementally restructures the internal partition graph and records
+//!   *frontier* partitions.
+//! * **State update** — [`Ckt::update_state`] re-simulates exactly the
+//!   partitions reachable from the frontier, in parallel, on the
+//!   work-stealing executor. Building a circuit from scratch and calling
+//!   `update_state` once is the full-simulation special case.
+//! * **Query** — [`Ckt::amplitude`], [`Ckt::state`], [`Ckt::probabilities`],
+//!   [`Ckt::sample`], [`Ckt::dump_graph`]. Queries resolve the copy-on-write
+//!   block chain lazily, so a removal followed by a query needs no
+//!   simulation at all.
+//!
+//! Internally (paper §III-C–F):
+//!
+//! * Each gate contributes a **row** — its private logical state vector,
+//!   stored copy-on-write per block ([`cow`]). A net's superposition gates
+//!   share one matrix–vector row preceded by a `sync` row.
+//! * Rows split into **partitions** of consecutive blocks ([`qtask_partition`]);
+//!   partitions form the task graph, linked by nearest-overlap coverage
+//!   scans ([`pgraph`]).
+//! * `update_state` performs a DFS from the frontier over successor edges
+//!   and executes the dirty partitions as a [`qtask_taskflow::Taskflow`],
+//!   with intra-partition tasks as subflow children ([`exec`]).
+
+pub mod config;
+pub mod cow;
+pub mod dump;
+pub mod engine;
+pub mod exec;
+pub mod pgraph;
+pub mod queries;
+pub mod row;
+
+pub use config::{RowOrderPolicy, SimConfig};
+pub use engine::{Ckt, UpdateReport};
+pub use row::{PartId, RowId};

@@ -1,0 +1,278 @@
+//! Partition-graph maintenance: the paper's §III-D algorithms.
+//!
+//! * **Linking** a new partition: scan rows backward (for predecessors)
+//!   and forward (for successors), collecting the *nearest* partitions
+//!   whose block ranges intersect the still-uncovered blocks, until every
+//!   block of the new partition is covered or the row list ends (Figure
+//!   9's walk). Then remove direct pred→succ edges, which became
+//!   transitive through the new partition.
+//! * **Removing** a row: detach every partition, reconnect each removed
+//!   partition's predecessors to its successors where their block ranges
+//!   overlap inside the removed range (Figure 7), and push the successors
+//!   onto the frontier.
+
+use crate::engine::Ckt;
+use crate::row::{PartId, RowId};
+use qtask_util::BitSet;
+
+impl Ckt {
+    /// Adds edge `a → b` if absent.
+    pub(crate) fn add_edge(&mut self, a: PartId, b: PartId) {
+        debug_assert_ne!(a, b);
+        let pa = &mut self.parts[a.key()];
+        if !pa.succs.contains(&b) {
+            pa.succs.push(b);
+            self.parts[b.key()].preds.push(a);
+        }
+    }
+
+    /// Removes edge `a → b` if present.
+    pub(crate) fn remove_edge(&mut self, a: PartId, b: PartId) {
+        self.parts[a.key()].succs.retain(|s| *s != b);
+        self.parts[b.key()].preds.retain(|p| *p != a);
+    }
+
+    /// Links a freshly created partition into the graph: backward
+    /// coverage scan for predecessors, forward for successors.
+    ///
+    /// ## Deviation from the paper: no transitive-edge pruning
+    ///
+    /// The paper additionally removes direct `pred → succ` edges between
+    /// the discovered endpoints ("since dependency constraints are
+    /// transitive"). Randomized differential testing against a
+    /// from-scratch oracle showed that rule to be **unsound** under later
+    /// removals: pruning `p → s` leaves s's block coverage guarded only
+    /// by a waypoint path `p → N → s`, and subsequent insertions can
+    /// re-route that path through nodes (`p → N' → … → s`) that do not
+    /// themselves cover the blocks in question. When such a waypoint row
+    /// is later removed, `s` is not among the removed partitions'
+    /// successors for those blocks, so no local reconnection rule (the
+    /// paper's Figure 7 included) can know to re-link `p → s` — and a
+    /// later change to `p` then never re-dirties `s`, leaving stale
+    /// amplitudes (see `tests/pruning_regression.rs` for the distilled
+    /// 5-qubit counterexample). Keeping the direct edges preserves the
+    /// invariant that every partition's predecessors cover its whole
+    /// block span, which makes both the removal re-scan and frontier DFS
+    /// sound. The cost is a modestly denser graph; correctness first.
+    pub(crate) fn link_partition(&mut self, pid: PartId) {
+        let (row_id, lo, hi) = {
+            let p = &self.parts[pid.key()];
+            (p.row, p.spec.block_lo, p.spec.block_hi)
+        };
+        let preds = self.coverage_scan(row_id, lo, hi, Direction::Backward);
+        let succs = self.coverage_scan(row_id, lo, hi, Direction::Forward);
+        for &p in &preds {
+            self.add_edge(p, pid);
+        }
+        for &s in &succs {
+            self.add_edge(pid, s);
+        }
+    }
+
+    /// Nearest partitions covering blocks `[lo, hi]`, walking rows in
+    /// `dir` from (exclusive) `from_row`. Stops early once covered.
+    fn coverage_scan(&self, from_row: RowId, lo: u32, hi: u32, dir: Direction) -> Vec<PartId> {
+        let span = (hi - lo + 1) as usize;
+        let mut covered = BitSet::with_capacity(span);
+        let mut found = Vec::new();
+        let mut cur = self.step(from_row, dir);
+        while covered.count() < span {
+            let Some(row_id) = cur else { break };
+            let row = &self.rows[row_id.key()];
+            // Partitions of a row are block-disjoint and sorted, so both
+            // block_lo and block_hi ascend: binary-search the first
+            // candidate overlapping [lo, hi], then walk while in range.
+            let start = row
+                .parts
+                .partition_point(|qid| self.parts[qid.key()].spec.block_hi < lo);
+            for &qid in &row.parts[start..] {
+                let q = &self.parts[qid.key()];
+                if q.spec.block_lo > hi {
+                    break;
+                }
+                let from = q.spec.block_lo.max(lo);
+                let to = q.spec.block_hi.min(hi);
+                let mut contributed = false;
+                for b in from..=to {
+                    if covered.insert((b - lo) as usize) {
+                        contributed = true;
+                    }
+                }
+                if contributed {
+                    found.push(qid);
+                }
+            }
+            cur = self.step(row_id, dir);
+        }
+        found
+    }
+
+    fn step(&self, row: RowId, dir: Direction) -> Option<RowId> {
+        match dir {
+            Direction::Backward => self.rows.prev(row.key()).map(RowId),
+            Direction::Forward => self.rows.next(row.key()).map(RowId),
+        }
+    }
+
+    /// Removes a row and all its partitions, reconnecting each orphaned
+    /// successor to its true nearest writers and seeding the frontier
+    /// with the successors (paper Figure 7 + §III-E removal rule).
+    ///
+    /// The paper reconnects "preceding partitions to successor partitions
+    /// if an overlap exists in their blocks", i.e. pairs from
+    /// `preds(R) × succs(R)`. That is insufficient once Figure 9's
+    /// transitive-edge pruning has run: pruning replaces a covering edge
+    /// `p → s` by the path `p → R → s` even when R covers only part of
+    /// the `p ∩ s` overlap, so after pruning `preds(s)` may no longer
+    /// cover all of s's blocks — and when R is later removed, the true
+    /// writer `p` of the uncovered blocks is not in `preds(R)` and the
+    /// pairwise reconnect misses it, leaving `s` unreachable from future
+    /// modifications of `p` (a stale-amplitude bug, found by randomized
+    /// differential testing). We therefore re-run the backward coverage
+    /// scan for every successor, which restores the nearest-writer
+    /// invariant exactly.
+    pub(crate) fn remove_row(&mut self, row_id: RowId) {
+        let row = self
+            .rows
+            .remove(row_id.key())
+            .expect("remove_row on a live row");
+        let mut orphaned: Vec<PartId> = Vec::new();
+        for pid in row.parts {
+            let part = self.parts.remove(pid.key()).expect("row partition is live");
+            self.frontier.remove(&pid);
+            // Detach.
+            for p in &part.preds {
+                self.parts[p.key()].succs.retain(|s| *s != pid);
+            }
+            for s in &part.succs {
+                self.parts[s.key()].preds.retain(|p| *p != pid);
+            }
+            orphaned.extend(part.succs.iter().copied());
+            self.frontier.extend(part.succs.iter().copied());
+        }
+        // Re-derive each orphan's predecessor set by a fresh backward
+        // coverage scan (existing edges are kept; add_edge deduplicates).
+        orphaned.sort_unstable();
+        orphaned.dedup();
+        for s in orphaned {
+            if !self.parts.contains(s.key()) {
+                continue;
+            }
+            let (s_row, lo, hi) = {
+                let p = &self.parts[s.key()];
+                (p.row, p.spec.block_lo, p.spec.block_hi)
+            };
+            let preds = self.coverage_scan(s_row, lo, hi, Direction::Backward);
+            for p in preds {
+                self.add_edge(p, s);
+            }
+        }
+        // The row's vector (and its owned blocks) drops here; inherited
+        // reads now resolve through to earlier rows — removal needs no
+        // simulation until `update_state`.
+    }
+
+    /// Debug validation: edge symmetry, acyclicity-by-construction
+    /// (edges only point from earlier rows to later rows), and
+    /// frontier liveness. Used by tests.
+    pub fn validate_graph(&self) -> Result<(), String> {
+        // Row order index for direction checks.
+        let mut order = std::collections::HashMap::new();
+        for (i, k) in self.rows.keys().enumerate() {
+            order.insert(RowId(k), i);
+        }
+        for (k, part) in self.parts.iter() {
+            let pid = PartId(k);
+            if !self.rows.contains(part.row.key()) {
+                return Err(format!("{pid:?} points at a dead row"));
+            }
+            for s in &part.succs {
+                let succ = self
+                    .parts
+                    .get(s.key())
+                    .ok_or_else(|| format!("{pid:?} has dead succ {s:?}"))?;
+                if !succ.preds.contains(&pid) {
+                    return Err(format!("asymmetric edge {pid:?} -> {s:?}"));
+                }
+                if order[&part.row] >= order[&succ.row] {
+                    return Err(format!(
+                        "edge {pid:?} -> {s:?} does not advance in row order"
+                    ));
+                }
+                if !part.spec.blocks_intersect(&succ.spec) {
+                    return Err(format!("edge {pid:?} -> {s:?} without block overlap"));
+                }
+            }
+            for p in &part.preds {
+                let pred = self
+                    .parts
+                    .get(p.key())
+                    .ok_or_else(|| format!("{pid:?} has dead pred {p:?}"))?;
+                if !pred.succs.contains(&pid) {
+                    return Err(format!("asymmetric edge {p:?} -> {pid:?}"));
+                }
+            }
+        }
+        for f in &self.frontier {
+            if !self.parts.contains(f.key()) {
+                return Err(format!("frontier holds dead partition {f:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Backward,
+    Forward,
+}
+
+impl Ckt {
+    /// Expensive debug validation of the operational soundness invariant:
+    /// for every partition `s` and every block `b` it spans, the nearest
+    /// earlier partition covering `b` (s's true data source ordering-wise)
+    /// must reach `s` through successor edges — otherwise a dirty source
+    /// could fail to re-dirty `s`. Transitive pruning makes the edge
+    /// indirect but must preserve the path.
+    pub fn validate_reachability(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        for k in self.rows.keys() {
+            let row = &self.rows[k];
+            for pid in &row.parts {
+                let part = &self.parts[pid.key()];
+                let (lo, hi) = (part.spec.block_lo, part.spec.block_hi);
+                // Nearest covers of s.
+                let covers = self.coverage_scan(part.row, lo, hi, Direction::Backward);
+                for c in covers {
+                    // BFS forward from c, looking for pid.
+                    let mut seen: HashSet<PartId> = HashSet::new();
+                    let mut stack = vec![c];
+                    let mut found = false;
+                    while let Some(x) = stack.pop() {
+                        if x == *pid {
+                            found = true;
+                            break;
+                        }
+                        if seen.insert(x) {
+                            stack.extend(self.parts[x.key()].succs.iter().copied());
+                        }
+                    }
+                    if !found {
+                        let src = &self.parts[c.key()];
+                        return Err(format!(
+                            "no path from {}[{},{}] to {}[{},{}]",
+                            self.rows[src.row.key()].label,
+                            src.spec.block_lo,
+                            src.spec.block_hi,
+                            row.label,
+                            lo,
+                            hi
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,172 @@
+//! Query API: amplitudes, probabilities, sampling, memory accounting.
+//!
+//! Queries resolve the copy-on-write chain from the last row backward,
+//! bottoming out at |0…0⟩. They reflect the state as of the latest
+//! [`crate::Ckt::update_state`] — the paper's usage model is
+//! modify → update → query.
+
+use crate::cow::Resolved;
+use crate::engine::Ckt;
+use qtask_num::Complex64;
+
+/// Memory accounting snapshot (the engine-side view of Table III's `mem`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Rows currently alive.
+    pub rows: usize,
+    /// Partitions currently alive.
+    pub partitions: usize,
+    /// Blocks owned across all rows (materialized data).
+    pub owned_blocks: usize,
+    /// Bytes of owned amplitude data.
+    pub owned_bytes: usize,
+}
+
+impl Ckt {
+    /// Resolves block `b` of the final state.
+    fn resolve_final(&self, b: usize) -> Resolved {
+        let mut cur = self.rows.tail();
+        while let Some(k) = cur {
+            if let Some(data) = self.rows[k].vector.owned(b) {
+                return Resolved::Data(data);
+            }
+            cur = self.rows.prev(k);
+        }
+        Resolved::Initial
+    }
+
+    /// The amplitude of basis state `idx`.
+    pub fn amplitude(&self, idx: usize) -> Complex64 {
+        assert!(idx < self.geom.state_len(), "basis index out of range");
+        let b = self.geom.block_of(idx);
+        self.resolve_final(b).read(b, self.geom.offset_in_block(idx))
+    }
+
+    /// The probability of basis state `idx`.
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.amplitude(idx).norm_sqr()
+    }
+
+    /// The full state vector (materializes `2^n` amplitudes).
+    pub fn state(&self) -> Vec<Complex64> {
+        let bs = self.geom.block_size();
+        let mut out = Vec::with_capacity(self.geom.state_len());
+        for b in 0..self.geom.num_blocks() {
+            match self.resolve_final(b) {
+                Resolved::Data(d) => out.extend_from_slice(&d),
+                Resolved::Initial => {
+                    let start = out.len();
+                    out.resize(start + bs, Complex64::ZERO);
+                    if b == 0 {
+                        out[0] = Complex64::ONE;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All basis-state probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.state().iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// Sum of squared amplitudes (≈ 1 for a consistent state).
+    pub fn norm_sqr(&self) -> f64 {
+        (0..self.geom.num_blocks())
+            .map(|b| match self.resolve_final(b) {
+                Resolved::Data(d) => d.iter().map(|z| z.norm_sqr()).sum::<f64>(),
+                Resolved::Initial => {
+                    if b == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            })
+            .sum()
+    }
+
+    /// Draws one computational-basis measurement outcome.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        let mut target: f64 = rng.random::<f64>();
+        let bs = self.geom.block_size();
+        for b in 0..self.geom.num_blocks() {
+            let resolved = self.resolve_final(b);
+            for off in 0..bs {
+                let p = resolved.read(b, off).norm_sqr();
+                if target < p {
+                    return b * bs + off;
+                }
+                target -= p;
+            }
+        }
+        self.geom.state_len() - 1 // numeric slack: return the last state
+    }
+
+    /// Debug introspection: every partition as
+    /// `(label, block_lo, block_hi, preds, succs, in_frontier)`, in row
+    /// order. For tests and diagnostics.
+    pub fn debug_partitions(
+        &self,
+    ) -> Vec<(String, u32, u32, Vec<usize>, Vec<usize>, bool)> {
+        let mut out = Vec::new();
+        for k in self.rows.keys() {
+            let row = &self.rows[k];
+            for pid in &row.parts {
+                let part = &self.parts[pid.key()];
+                out.push((
+                    row.label.to_string(),
+                    part.spec.block_lo,
+                    part.spec.block_hi,
+                    part.preds.iter().map(|p| p.key().index()).collect(),
+                    part.succs.iter().map(|s| s.key().index()).collect(),
+                    self.frontier.contains(pid),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Debug introspection: per-row `(label, owned block ids)`, in row
+    /// order, with each row's gate kind when it has one.
+    pub fn debug_rows(&self) -> Vec<(String, Vec<usize>)> {
+        self.rows
+            .keys()
+            .map(|k| {
+                let row = &self.rows[k];
+                let owned = (0..row.vector.num_blocks())
+                    .filter(|b| row.vector.owns(*b))
+                    .collect();
+                (row.label.to_string(), owned)
+            })
+            .collect()
+    }
+
+    /// Debug: the gates of rows in row order (row label, gate info).
+    pub fn debug_row_gates(&self) -> Vec<(String, Option<qtask_circuit::Gate>)> {
+        self.rows
+            .keys()
+            .map(|k| {
+                let row = &self.rows[k];
+                let gate = row.gate.and_then(|g| self.circuit.gate(g).copied());
+                (row.label.to_string(), gate)
+            })
+            .collect()
+    }
+
+    /// Memory accounting across all rows.
+    pub fn memory_stats(&self) -> MemStats {
+        let bs = self.geom.block_size();
+        let mut owned_blocks = 0;
+        for (_, row) in self.rows.iter() {
+            owned_blocks += row.vector.owned_blocks();
+        }
+        MemStats {
+            rows: self.rows.len(),
+            partitions: self.parts.len(),
+            owned_blocks,
+            owned_bytes: owned_blocks * bs * std::mem::size_of::<Complex64>(),
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The gate kind enumeration and its structural queries.
+
+use crate::class::GateClass;
+use crate::matrices;
+use qtask_num::Mat2;
+
+/// A gate type, carrying its rotation parameters when it has any.
+///
+/// Qubit operands live on the circuit's `Gate` instances, ordered
+/// `[controls..., target]` for controlled kinds, `[a, b]` for `Swap`, and
+/// `[control, a, b]` for `Cswap`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GateKind {
+    /// Identity (no-op placeholder).
+    Id,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// sqrt(Z) phase.
+    S,
+    /// Conjugate of sqrt(Z).
+    Sdg,
+    /// sqrt(S) phase.
+    T,
+    /// Conjugate of sqrt(S).
+    Tdg,
+    /// sqrt(X).
+    Sx,
+    /// Conjugate of sqrt(X).
+    Sxdg,
+    /// X-axis rotation by the given angle.
+    Rx(f64),
+    /// Y-axis rotation.
+    Ry(f64),
+    /// Z-axis rotation.
+    Rz(f64),
+    /// Phase gate `diag(1, e^{iλ})` (OpenQASM `u1`/`p`).
+    P(f64),
+    /// OpenQASM `u2(φ, λ)`.
+    U2(f64, f64),
+    /// OpenQASM `u3(θ, φ, λ)`.
+    U3(f64, f64, f64),
+    /// Controlled-NOT (the paper's CNOT).
+    Cx,
+    /// Controlled-Y.
+    Cy,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-Hadamard.
+    Ch,
+    /// Controlled X-rotation.
+    Crx(f64),
+    /// Controlled Y-rotation.
+    Cry(f64),
+    /// Controlled Z-rotation.
+    Crz(f64),
+    /// Controlled phase (OpenQASM `cu1`/`cp`).
+    Cp(f64),
+    /// Controlled `u3`.
+    Cu3(f64, f64, f64),
+    /// Toffoli (double-controlled X).
+    Ccx,
+    /// Double-controlled Z.
+    Ccz,
+    /// Qubit exchange.
+    Swap,
+    /// Controlled swap (Fredkin).
+    Cswap,
+}
+
+impl GateKind {
+    /// Total number of qubit operands, controls included.
+    pub fn arity(&self) -> usize {
+        use GateKind::*;
+        match self {
+            Id | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx(_) | Ry(_) | Rz(_) | P(_)
+            | U2(..) | U3(..) => 1,
+            Cx | Cy | Cz | Ch | Crx(_) | Cry(_) | Crz(_) | Cp(_) | Cu3(..) | Swap => 2,
+            Ccx | Ccz | Cswap => 3,
+        }
+    }
+
+    /// Number of control qubits (leading operands).
+    pub fn num_controls(&self) -> usize {
+        use GateKind::*;
+        match self {
+            Cx | Cy | Cz | Ch | Crx(_) | Cry(_) | Crz(_) | Cp(_) | Cu3(..) | Cswap => 1,
+            Ccx | Ccz => 2,
+            _ => 0,
+        }
+    }
+
+    /// True for the swap family (two targets exchanged).
+    pub fn is_swap_family(&self) -> bool {
+        matches!(self, GateKind::Swap | GateKind::Cswap)
+    }
+
+    /// The 2×2 matrix applied to the target qubit, for every kind except
+    /// the swap family.
+    pub fn base_matrix(&self) -> Option<Mat2> {
+        use GateKind::*;
+        Some(match self {
+            Id => Mat2::IDENTITY,
+            X | Cx | Ccx => matrices::x(),
+            Y | Cy => matrices::y(),
+            Z | Cz | Ccz => matrices::z(),
+            H | Ch => matrices::h(),
+            S => matrices::s(),
+            Sdg => matrices::sdg(),
+            T => matrices::t(),
+            Tdg => matrices::tdg(),
+            Sx => matrices::sx(),
+            Sxdg => matrices::sxdg(),
+            Rx(t) | Crx(t) => matrices::rx(*t),
+            Ry(t) | Cry(t) => matrices::ry(*t),
+            Rz(t) | Crz(t) => matrices::rz(*t),
+            P(l) | Cp(l) => matrices::phase(*l),
+            U2(p, l) => matrices::u2(*p, *l),
+            U3(t, p, l) | Cu3(t, p, l) => matrices::u3(*t, *p, *l),
+            Swap | Cswap => return None,
+        })
+    }
+
+    /// Classifies the gate's action on the target qubit. This is the
+    /// superposition / non-superposition decision of paper §III-C.
+    pub fn classify(&self) -> GateClass {
+        if self.is_swap_family() {
+            return GateClass::SwapPerm;
+        }
+        GateClass::of_matrix(&self.base_matrix().expect("non-swap gate has a base matrix"))
+    }
+
+    /// True if applying this gate can create superposition — i.e. it needs
+    /// the matrix–vector fallback rather than pair swapping/scaling.
+    pub fn is_superposition(&self) -> bool {
+        matches!(self.classify(), GateClass::Dense(_))
+    }
+
+    /// The OpenQASM 2.0 spelling of this gate.
+    pub fn qasm_name(&self) -> &'static str {
+        use GateKind::*;
+        match self {
+            Id => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            Sx => "sx",
+            Sxdg => "sxdg",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            P(_) => "u1",
+            U2(..) => "u2",
+            U3(..) => "u3",
+            Cx => "cx",
+            Cy => "cy",
+            Cz => "cz",
+            Ch => "ch",
+            Crx(_) => "crx",
+            Cry(_) => "cry",
+            Crz(_) => "crz",
+            Cp(_) => "cu1",
+            Cu3(..) => "cu3",
+            Ccx => "ccx",
+            Ccz => "ccz",
+            Swap => "swap",
+            Cswap => "cswap",
+        }
+    }
+
+    /// The gate's rotation parameters in QASM argument order.
+    pub fn params(&self) -> Vec<f64> {
+        use GateKind::*;
+        match self {
+            Rx(t) | Ry(t) | Rz(t) | P(t) | Crx(t) | Cry(t) | Crz(t) | Cp(t) => vec![*t],
+            U2(p, l) => vec![*p, *l],
+            U3(t, p, l) | Cu3(t, p, l) => vec![*t, *p, *l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Builds a kind from a QASM gate name and parameter list. Returns
+    /// `None` for unknown names or wrong parameter counts.
+    pub fn from_qasm(name: &str, params: &[f64]) -> Option<GateKind> {
+        use GateKind::*;
+        let kind = match (name, params.len()) {
+            ("id" | "i", 0) => Id,
+            ("x" | "not", 0) => X,
+            ("y", 0) => Y,
+            ("z", 0) => Z,
+            ("h", 0) => H,
+            ("s", 0) => S,
+            ("sdg", 0) => Sdg,
+            ("t", 0) => T,
+            ("tdg", 0) => Tdg,
+            ("sx", 0) => Sx,
+            ("sxdg", 0) => Sxdg,
+            ("rx", 1) => Rx(params[0]),
+            ("ry", 1) => Ry(params[0]),
+            ("rz", 1) => Rz(params[0]),
+            ("u1" | "p" | "phase", 1) => P(params[0]),
+            ("u2", 2) => U2(params[0], params[1]),
+            ("u3" | "u", 3) => U3(params[0], params[1], params[2]),
+            ("cx" | "cnot" | "CX", 0) => Cx,
+            ("cy", 0) => Cy,
+            ("cz", 0) => Cz,
+            ("ch", 0) => Ch,
+            ("crx", 1) => Crx(params[0]),
+            ("cry", 1) => Cry(params[0]),
+            ("crz", 1) => Crz(params[0]),
+            ("cu1" | "cp", 1) => Cp(params[0]),
+            ("cu3", 3) => Cu3(params[0], params[1], params[2]),
+            ("ccx" | "toffoli", 0) => Ccx,
+            ("ccz", 0) => Ccz,
+            ("swap", 0) => Swap,
+            ("cswap" | "fredkin", 0) => Cswap,
+            _ => return None,
+        };
+        Some(kind)
+    }
+
+    /// The inverse gate: `g.adjoint()` undoes `g`. Used by the
+    /// equivalence-checking example to build `U† V`.
+    pub fn adjoint(&self) -> GateKind {
+        use GateKind::*;
+        match *self {
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            Sx => Sxdg,
+            Sxdg => Sx,
+            Rx(t) => Rx(-t),
+            Ry(t) => Ry(-t),
+            Rz(t) => Rz(-t),
+            P(l) => P(-l),
+            U2(p, l) => U3(-std::f64::consts::FRAC_PI_2, -l, -p),
+            U3(t, p, l) => U3(-t, -l, -p),
+            Crx(t) => Crx(-t),
+            Cry(t) => Cry(-t),
+            Crz(t) => Crz(-t),
+            Cp(l) => Cp(-l),
+            Cu3(t, p, l) => Cu3(-t, -l, -p),
+            other => other, // self-inverse: Id X Y Z H Cx Cy Cz Ch Ccx Ccz Swap Cswap
+        }
+    }
+
+    /// A representative sample of every kind, for exhaustive tests.
+    pub fn samples() -> Vec<GateKind> {
+        use std::f64::consts::PI;
+        use GateKind::*;
+        vec![
+            Id,
+            X,
+            Y,
+            Z,
+            H,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            Sx,
+            Sxdg,
+            Rx(0.3),
+            Rx(PI),
+            Ry(1.1),
+            Ry(PI),
+            Rz(0.7),
+            P(PI / 3.0),
+            U2(0.2, 0.4),
+            U3(0.5, 0.6, 0.7),
+            Cx,
+            Cy,
+            Cz,
+            Ch,
+            Crx(0.9),
+            Cry(0.8),
+            Crz(0.4),
+            Cp(PI / 5.0),
+            Cu3(0.1, 0.2, 0.3),
+            Ccx,
+            Ccz,
+            Swap,
+            Cswap,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn arity_and_controls_are_consistent() {
+        for k in GateKind::samples() {
+            assert!(k.num_controls() < k.arity(), "{k:?}");
+            if k.is_swap_family() {
+                assert!(k.base_matrix().is_none());
+                assert_eq!(k.arity() - k.num_controls(), 2, "{k:?}");
+            } else {
+                assert!(k.base_matrix().is_some());
+                assert_eq!(k.arity() - k.num_controls(), 1, "{k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_base_matrices_unitary() {
+        for k in GateKind::samples() {
+            if let Some(m) = k.base_matrix() {
+                assert!(m.is_unitary(1e-12), "{k:?} not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn qasm_round_trip() {
+        for k in GateKind::samples() {
+            let name = k.qasm_name();
+            let params = k.params();
+            let back = GateKind::from_qasm(name, &params).unwrap_or_else(|| {
+                panic!("{name} did not parse back");
+            });
+            // u1 names collapse (P is printed as u1), compare matrices.
+            match (k.base_matrix(), back.base_matrix()) {
+                (Some(a), Some(b)) => assert!(a.approx_eq(&b, 1e-12), "{k:?}"),
+                (None, None) => assert_eq!(k.is_swap_family(), back.is_swap_family()),
+                _ => panic!("{k:?} changed family"),
+            }
+            assert_eq!(k.arity(), back.arity());
+        }
+    }
+
+    #[test]
+    fn from_qasm_rejects_bad_input() {
+        assert_eq!(GateKind::from_qasm("nope", &[]), None);
+        assert_eq!(GateKind::from_qasm("rx", &[]), None);
+        assert_eq!(GateKind::from_qasm("h", &[1.0]), None);
+    }
+
+    #[test]
+    fn adjoint_inverts_matrix() {
+        for k in GateKind::samples() {
+            let Some(m) = k.base_matrix() else { continue };
+            let Some(madj) = k.adjoint().base_matrix() else {
+                panic!("{k:?} adjoint left the family")
+            };
+            assert!(
+                m.mul(&madj).approx_eq(&qtask_num::Mat2::IDENTITY, 1e-12),
+                "{k:?} adjoint is not an inverse"
+            );
+        }
+        assert_eq!(GateKind::Swap.adjoint(), GateKind::Swap);
+        assert_eq!(GateKind::Cswap.adjoint(), GateKind::Cswap);
+    }
+
+    #[test]
+    fn superposition_classification_matches_paper() {
+        // Table I split as described in §III-C.
+        for k in [
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Cx,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Ccx,
+            GateKind::Rx(PI),
+            GateKind::Ry(PI),
+            GateKind::Rz(0.37),
+            GateKind::P(0.4),
+        ] {
+            assert!(!k.is_superposition(), "{k:?} should not superpose");
+        }
+        for k in [
+            GateKind::H,
+            GateKind::Ch,
+            GateKind::Rx(PI / 2.0),
+            GateKind::Ry(0.3),
+            GateKind::Sx,
+            GateKind::U2(0.1, 0.2),
+            GateKind::U3(0.5, 0.1, 0.2),
+        ] {
+            assert!(k.is_superposition(), "{k:?} should superpose");
+        }
+    }
+}

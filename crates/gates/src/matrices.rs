@@ -1,0 +1,215 @@
+//! Analytic 2×2 matrices for the standard gates.
+
+use qtask_num::{c64, Complex64, Mat2};
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
+
+/// Pauli-X.
+pub fn x() -> Mat2 {
+    Mat2::new(Complex64::ZERO, Complex64::ONE, Complex64::ONE, Complex64::ZERO)
+}
+
+/// Pauli-Y.
+pub fn y() -> Mat2 {
+    Mat2::new(Complex64::ZERO, -Complex64::I, Complex64::I, Complex64::ZERO)
+}
+
+/// Pauli-Z.
+pub fn z() -> Mat2 {
+    Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, -Complex64::ONE)
+}
+
+/// Hadamard.
+pub fn h() -> Mat2 {
+    Mat2::new(
+        c64(FRAC_1_SQRT_2, 0.0),
+        c64(FRAC_1_SQRT_2, 0.0),
+        c64(FRAC_1_SQRT_2, 0.0),
+        c64(-FRAC_1_SQRT_2, 0.0),
+    )
+}
+
+/// S = sqrt(Z) = diag(1, i).
+pub fn s() -> Mat2 {
+    Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::I)
+}
+
+/// S† = diag(1, -i).
+pub fn sdg() -> Mat2 {
+    Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, -Complex64::I)
+}
+
+/// T = sqrt(S) = diag(1, e^{iπ/4}).
+pub fn t() -> Mat2 {
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::exp_i(FRAC_PI_4),
+    )
+}
+
+/// T† = diag(1, e^{-iπ/4}).
+pub fn tdg() -> Mat2 {
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::exp_i(-FRAC_PI_4),
+    )
+}
+
+/// sqrt(X) = ½ [[1+i, 1−i], [1−i, 1+i]].
+pub fn sx() -> Mat2 {
+    Mat2::new(c64(0.5, 0.5), c64(0.5, -0.5), c64(0.5, -0.5), c64(0.5, 0.5))
+}
+
+/// sqrt(X)†.
+pub fn sxdg() -> Mat2 {
+    sx().adjoint()
+}
+
+/// X-axis rotation: RX(θ) = [[cos θ/2, −i sin θ/2], [−i sin θ/2, cos θ/2]].
+pub fn rx(theta: f64) -> Mat2 {
+    let (c, si) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat2::new(c64(c, 0.0), c64(0.0, -si), c64(0.0, -si), c64(c, 0.0))
+}
+
+/// Y-axis rotation: RY(θ) = [[cos θ/2, −sin θ/2], [sin θ/2, cos θ/2]].
+pub fn ry(theta: f64) -> Mat2 {
+    let (c, si) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat2::new(c64(c, 0.0), c64(-si, 0.0), c64(si, 0.0), c64(c, 0.0))
+}
+
+/// Z-axis rotation: RZ(θ) = diag(e^{−iθ/2}, e^{iθ/2}). Always diagonal —
+/// RZ never creates superposition, unlike RX/RY which only avoid it at
+/// multiples of π.
+pub fn rz(theta: f64) -> Mat2 {
+    Mat2::new(
+        Complex64::exp_i(-theta / 2.0),
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::exp_i(theta / 2.0),
+    )
+}
+
+/// Phase gate: P(λ) = diag(1, e^{iλ}).
+pub fn phase(lambda: f64) -> Mat2 {
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::exp_i(lambda),
+    )
+}
+
+/// OpenQASM u3(θ, φ, λ).
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (c, si) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat2::new(
+        c64(c, 0.0),
+        -Complex64::exp_i(lambda).scale(si),
+        Complex64::exp_i(phi).scale(si),
+        Complex64::exp_i(phi + lambda).scale(c),
+    )
+}
+
+/// OpenQASM u2(φ, λ) = u3(π/2, φ, λ).
+pub fn u2(phi: f64, lambda: f64) -> Mat2 {
+    u3(FRAC_PI_2, phi, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ, YZ = iX, ZX = iY.
+        assert!(x().mul(&y()).approx_eq(&z().scale(Complex64::I), TOL));
+        assert!(y().mul(&z()).approx_eq(&x().scale(Complex64::I), TOL));
+        assert!(z().mul(&x()).approx_eq(&y().scale(Complex64::I), TOL));
+    }
+
+    #[test]
+    fn hadamard_conjugation() {
+        // HXH = Z and HZH = X.
+        assert!(h().mul(&x()).mul(&h()).approx_eq(&z(), TOL));
+        assert!(h().mul(&z()).mul(&h()).approx_eq(&x(), TOL));
+    }
+
+    #[test]
+    fn phase_tower() {
+        // T² = S, S² = Z.
+        assert!(t().mul(&t()).approx_eq(&s(), TOL));
+        assert!(s().mul(&s()).approx_eq(&z(), TOL));
+        assert!(sdg().mul(&s()).approx_eq(&Mat2::IDENTITY, TOL));
+        assert!(tdg().mul(&t()).approx_eq(&Mat2::IDENTITY, TOL));
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        assert!(sx().mul(&sx()).approx_eq(&x(), TOL));
+        assert!(sxdg().mul(&sx()).approx_eq(&Mat2::IDENTITY, TOL));
+    }
+
+    #[test]
+    fn rotations_at_special_angles() {
+        // RX(π) = −iX, RY(π) = −iY·i? RY(π) = [[0,−1],[1,0]].
+        assert!(rx(PI).approx_eq(&x().scale(-Complex64::I), TOL));
+        assert!(ry(PI).approx_eq(
+            &Mat2::new(Complex64::ZERO, -Complex64::ONE, Complex64::ONE, Complex64::ZERO),
+            TOL
+        ));
+        // RZ(π) = diag(−i, i) = −i·Z.
+        assert!(rz(PI).approx_eq(&z().scale(-Complex64::I), TOL));
+        assert!(rx(0.0).approx_eq(&Mat2::IDENTITY, TOL));
+    }
+
+    #[test]
+    fn rotation_composition() {
+        // RX(a)·RX(b) = RX(a+b).
+        assert!(rx(0.3).mul(&rx(0.4)).approx_eq(&rx(0.7), TOL));
+        assert!(rz(1.1).mul(&rz(-0.4)).approx_eq(&rz(0.7), TOL));
+    }
+
+    #[test]
+    fn u_family_identities() {
+        // u3(0,0,λ) = P(λ) up to nothing (exact).
+        assert!(u3(0.0, 0.0, 1.3).approx_eq(&phase(1.3), TOL));
+        // u2(0, π) = H.
+        assert!(u2(0.0, PI).approx_eq(&h(), TOL));
+        // u3(π, 0, π) = X.
+        assert!(u3(PI, 0.0, PI).approx_eq(&x(), TOL));
+        // u3(θ, −π/2, π/2) = RX(θ).
+        assert!(u3(0.9, -FRAC_PI_2, FRAC_PI_2).approx_eq(&rx(0.9), TOL));
+        // u3(θ, 0, 0) = RY(θ).
+        assert!(u3(0.9, 0.0, 0.0).approx_eq(&ry(0.9), TOL));
+    }
+
+    #[test]
+    fn everything_unitary() {
+        for m in [
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            sdg(),
+            t(),
+            tdg(),
+            sx(),
+            sxdg(),
+            rx(0.123),
+            ry(2.5),
+            rz(-1.7),
+            phase(0.456),
+            u2(1.0, 2.0),
+            u3(0.1, 0.2, 0.3),
+        ] {
+            assert!(m.is_unitary(TOL));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Double-precision complex numbers.
+//!
+//! A deliberately small, `Copy`, `#[repr(C)]` complex type. We implement it
+//! ourselves (rather than pulling a dependency) so the amplitude layout is
+//! guaranteed to be two adjacent `f64`s — the representation the block
+//! kernels and the disjoint-write machinery rely on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`Complex64`].
+#[inline]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// Additive identity.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Builds a purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Complex64 {
+        c64(re, 0.0)
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn exp_i(theta: f64) -> Complex64 {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex64 {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex64 {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// True if both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// True if `|z| <= tol`.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// True if `z ≈ 1` within `tol`.
+    #[inline]
+    pub fn is_one(self, tol: f64) -> bool {
+        self.approx_eq(Complex64::ONE, tol)
+    }
+
+    /// Multiplicative inverse. Panics in debug builds on zero.
+    #[inline]
+    pub fn recip(self) -> Complex64 {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "reciprocal of zero");
+        c64(self.re / n, -self.im / n)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Complex64 {
+        Complex64::real(re)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = c64(1.5, -2.0);
+        let b = c64(-0.25, 3.0);
+        let c = c64(0.5, 0.5);
+        assert!(((a + b) + c).approx_eq(a + (b + c), TOL));
+        assert!((a * b).approx_eq(b * a, TOL));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, TOL));
+        assert!((a - a).approx_eq(Complex64::ZERO, TOL));
+        assert!((a * a.recip()).approx_eq(Complex64::ONE, TOL));
+        assert!((a / b * b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex64::I * Complex64::I).approx_eq(-Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = Complex64::exp_i(std::f64::consts::PI);
+        assert!(z.approx_eq(-Complex64::ONE, TOL));
+        let h = Complex64::exp_i(std::f64::consts::FRAC_PI_2);
+        assert!(h.approx_eq(Complex64::I, TOL));
+    }
+
+    #[test]
+    fn norm_and_conj() {
+        let z = c64(3.0, -4.0);
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((z * z.conj()).approx_eq(c64(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = c64(1.0, 1.0);
+        z += c64(1.0, 0.0);
+        z -= c64(0.0, 1.0);
+        z *= c64(0.0, 1.0);
+        assert!(z.approx_eq(c64(0.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1.000000-2.000000i");
+    }
+
+    #[test]
+    fn layout_is_two_f64() {
+        assert_eq!(std::mem::size_of::<Complex64>(), 16);
+        assert_eq!(std::mem::align_of::<Complex64>(), 8);
+    }
+}

@@ -1,0 +1,320 @@
+//! Naive dense matrices over `Complex64`, for the test oracle.
+//!
+//! The paper's background section explains full-circuit simulation as
+//! "order the gates, pad with identities, take Kronecker products, and
+//! multiply". That construction is exponentially expensive and only usable
+//! for tiny circuits — which is exactly what makes it a good *oracle*: the
+//! efficient engines must agree with it on every circuit small enough to
+//! afford it.
+
+use crate::complex::Complex64;
+use crate::mat::{Mat2, Mat4};
+
+/// A dense row-major complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl DenseMatrix {
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> DenseMatrix {
+        let mut m = DenseMatrix {
+            n,
+            data: vec![Complex64::ZERO; n * n],
+        };
+        for i in 0..n {
+            m.data[i * n + i] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds from a [`Mat2`].
+    pub fn from_mat2(m: &Mat2) -> DenseMatrix {
+        let mut d = DenseMatrix::identity(2);
+        for r in 0..2 {
+            for c in 0..2 {
+                d.data[r * 2 + c] = m.0[r][c];
+            }
+        }
+        d
+    }
+
+    /// Builds from a [`Mat4`].
+    pub fn from_mat4(m: &Mat4) -> DenseMatrix {
+        let mut d = DenseMatrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                d.data[r * 4 + c] = m.0[r][c];
+            }
+        }
+        d
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut Complex64 {
+        &mut self.data[r * self.n + c]
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let n = self.n * rhs.n;
+        let mut out = DenseMatrix {
+            n,
+            data: vec![Complex64::ZERO; n * n],
+        };
+        for r1 in 0..self.n {
+            for c1 in 0..self.n {
+                let v1 = self.at(r1, c1);
+                if v1.is_zero(0.0) {
+                    continue;
+                }
+                for r2 in 0..rhs.n {
+                    for c2 in 0..rhs.n {
+                        let v = v1 * rhs.at(r2, c2);
+                        out.data[(r1 * rhs.n + r2) * n + (c1 * rhs.n + c2)] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, rhs.n);
+        let n = self.n;
+        let mut out = DenseMatrix {
+            n,
+            data: vec![Complex64::ZERO; n * n],
+        };
+        for r in 0..n {
+            for k in 0..n {
+                let v = self.at(r, k);
+                if v.is_zero(0.0) {
+                    continue;
+                }
+                for c in 0..n {
+                    out.data[r * n + c] += v * rhs.at(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.n, v.len());
+        let mut out = vec![Complex64::ZERO; self.n];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (c, vc) in v.iter().enumerate() {
+                acc += self.at(r, c) * *vc;
+            }
+            *out_r = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> DenseMatrix {
+        let n = self.n;
+        let mut out = DenseMatrix {
+            n,
+            data: vec![Complex64::ZERO; n * n],
+        };
+        for r in 0..n {
+            for c in 0..n {
+                out.data[r * n + c] = self.at(c, r).conj();
+            }
+        }
+        out
+    }
+
+    /// True if `self * self† ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint())
+            .approx_eq(&DenseMatrix::identity(self.n), tol)
+    }
+
+    /// Entrywise approximate equality.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Lifts a single-qubit matrix `u` acting on `target` to an
+    /// `n_qubits`-qubit operator, with qubit 0 as the least significant bit
+    /// of the state index (the convention used across the workspace).
+    pub fn lift_1q(u: &Mat2, target: usize, n_qubits: usize) -> DenseMatrix {
+        assert!(target < n_qubits);
+        // Index bit q corresponds to Kronecker position (n-1-q) counting
+        // from the left, so iterate from the most significant qubit down.
+        let mut m = DenseMatrix::identity(1);
+        for q in (0..n_qubits).rev() {
+            let factor = if q == target {
+                DenseMatrix::from_mat2(u)
+            } else {
+                DenseMatrix::identity(2)
+            };
+            m = m.kron(&factor);
+        }
+        m
+    }
+
+    /// Lifts a controlled single-qubit matrix (`controls` all 1 applies `u`
+    /// to `target`) to an `n_qubits` operator, by direct index construction.
+    pub fn lift_controlled_1q(
+        u: &Mat2,
+        controls: &[usize],
+        target: usize,
+        n_qubits: usize,
+    ) -> DenseMatrix {
+        let dim = 1usize << n_qubits;
+        let cmask: usize = controls.iter().map(|c| 1usize << c).sum();
+        let tbit = 1usize << target;
+        let mut m = DenseMatrix::identity(dim);
+        for i in 0..dim {
+            if i & cmask == cmask && i & tbit == 0 {
+                let j = i | tbit;
+                *m.at_mut(i, i) = u.0[0][0];
+                *m.at_mut(i, j) = u.0[0][1];
+                *m.at_mut(j, i) = u.0[1][0];
+                *m.at_mut(j, j) = u.0[1][1];
+            }
+        }
+        m
+    }
+
+    /// Lifts a SWAP on `(a, b)` (optionally controlled) to `n_qubits`.
+    pub fn lift_swap(a: usize, b: usize, controls: &[usize], n_qubits: usize) -> DenseMatrix {
+        let dim = 1usize << n_qubits;
+        let cmask: usize = controls.iter().map(|c| 1usize << c).sum();
+        let (abit, bbit) = (1usize << a, 1usize << b);
+        let mut m = DenseMatrix::identity(dim);
+        for i in 0..dim {
+            if i & cmask == cmask && i & abit != 0 && i & bbit == 0 {
+                let j = (i & !abit) | bbit;
+                *m.at_mut(i, i) = Complex64::ZERO;
+                *m.at_mut(j, j) = Complex64::ZERO;
+                *m.at_mut(i, j) = Complex64::ONE;
+                *m.at_mut(j, i) = Complex64::ONE;
+            }
+        }
+        m
+    }
+}
+
+impl std::fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "DenseMatrix({}x{}) [", self.n, self.n)?;
+        for r in 0..self.n {
+            write!(f, "  ")?;
+            for c in 0..self.n {
+                write!(f, "{} ", self.at(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::mat::mat2_real;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    const TOL: f64 = 1e-12;
+
+    fn h() -> Mat2 {
+        mat2_real(FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2)
+    }
+
+    fn x() -> Mat2 {
+        mat2_real(0.0, 1.0, 1.0, 0.0)
+    }
+
+    #[test]
+    fn kron_dimensions_and_identity() {
+        let i2 = DenseMatrix::identity(2);
+        let i4 = i2.kron(&i2);
+        assert!(i4.approx_eq(&DenseMatrix::identity(4), TOL));
+    }
+
+    #[test]
+    fn lift_1q_msb_lsb_convention() {
+        // H on qubit 0 (LSB) of 2 qubits = I ⊗ H.
+        let lifted = DenseMatrix::lift_1q(&h(), 0, 2);
+        let manual = DenseMatrix::identity(2).kron(&DenseMatrix::from_mat2(&h()));
+        assert!(lifted.approx_eq(&manual, TOL));
+        // H on qubit 1 (MSB) of 2 qubits = H ⊗ I.
+        let lifted = DenseMatrix::lift_1q(&h(), 1, 2);
+        let manual = DenseMatrix::from_mat2(&h()).kron(&DenseMatrix::identity(2));
+        assert!(lifted.approx_eq(&manual, TOL));
+    }
+
+    #[test]
+    fn controlled_x_matches_cnot_matrix() {
+        // Control qubit 1 (high bit), target qubit 0: basis |q1 q0>.
+        let cx = DenseMatrix::lift_controlled_1q(&x(), &[1], 0, 2);
+        assert!(cx.approx_eq(&DenseMatrix::from_mat4(&Mat4::cnot()), TOL));
+    }
+
+    #[test]
+    fn swap_matches_matrix() {
+        let sw = DenseMatrix::lift_swap(1, 0, &[], 2);
+        assert!(sw.approx_eq(&DenseMatrix::from_mat4(&Mat4::swap()), TOL));
+    }
+
+    #[test]
+    fn ghz_from_dense_oracle() {
+        // H(0) then CX(0->1): |00> -> (|00> + |11>)/√2.
+        let h0 = DenseMatrix::lift_1q(&h(), 0, 2);
+        let cx = DenseMatrix::lift_controlled_1q(&x(), &[0], 1, 2);
+        let mut state = vec![Complex64::ZERO; 4];
+        state[0] = Complex64::ONE;
+        let state = cx.matvec(&h0.matvec(&state));
+        assert!(state[0].approx_eq(c64(FRAC_1_SQRT_2, 0.0), TOL));
+        assert!(state[3].approx_eq(c64(FRAC_1_SQRT_2, 0.0), TOL));
+        assert!(state[1].is_zero(TOL) && state[2].is_zero(TOL));
+    }
+
+    #[test]
+    fn unitarity_of_lifts() {
+        assert!(DenseMatrix::lift_1q(&h(), 2, 4).is_unitary(TOL));
+        assert!(DenseMatrix::lift_controlled_1q(&x(), &[3, 1], 0, 4).is_unitary(TOL));
+        assert!(DenseMatrix::lift_swap(2, 0, &[1], 4).is_unitary(TOL));
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        let ccx = DenseMatrix::lift_controlled_1q(&x(), &[0, 1], 2, 3);
+        for i in 0..8usize {
+            let mut v = vec![Complex64::ZERO; 8];
+            v[i] = Complex64::ONE;
+            let out = ccx.matvec(&v);
+            let expect = if i & 0b011 == 0b011 { i ^ 0b100 } else { i };
+            assert!(out[expect].is_one(TOL), "input {i}");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Small fixed-size complex matrices (2×2 and 4×4).
+
+use crate::complex::{c64, Complex64};
+
+/// A 2×2 complex matrix, row-major: `m[row][col]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat2(pub [[Complex64; 2]; 2]);
+
+impl Mat2 {
+    /// The 2×2 identity.
+    pub const IDENTITY: Mat2 = Mat2([
+        [Complex64::ONE, Complex64::ZERO],
+        [Complex64::ZERO, Complex64::ONE],
+    ]);
+
+    /// Builds from rows.
+    #[inline]
+    pub const fn new(
+        a: Complex64,
+        b: Complex64,
+        c: Complex64,
+        d: Complex64,
+    ) -> Mat2 {
+        Mat2([[a, b], [c, d]])
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.0[r][c]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Mat2) -> Mat2 {
+        let mut out = [[Complex64::ZERO; 2]; 2];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_rc) in out_row.iter_mut().enumerate() {
+                *out_rc = self.0[r][0] * rhs.0[0][c] + self.0[r][1] * rhs.0[1][c];
+            }
+        }
+        Mat2(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat2 {
+        Mat2([
+            [self.0[0][0].conj(), self.0[1][0].conj()],
+            [self.0[0][1].conj(), self.0[1][1].conj()],
+        ])
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: Complex64) -> Mat2 {
+        let mut m = *self;
+        for row in &mut m.0 {
+            for v in row {
+                *v = *v * s;
+            }
+        }
+        m
+    }
+
+    /// True if `self * self† ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Mat2::IDENTITY, tol)
+    }
+
+    /// Entrywise approximate equality.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        (0..2).all(|r| (0..2).all(|c| self.0[r][c].approx_eq(other.0[r][c], tol)))
+    }
+
+    /// True if both off-diagonal entries vanish within `tol`.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        self.0[0][1].is_zero(tol) && self.0[1][0].is_zero(tol)
+    }
+
+    /// True if both diagonal entries vanish within `tol`.
+    pub fn is_antidiagonal(&self, tol: f64) -> bool {
+        self.0[0][0].is_zero(tol) && self.0[1][1].is_zero(tol)
+    }
+
+    /// Applies the matrix to an amplitude pair: `(a0', a1') = M (a0, a1)`.
+    #[inline]
+    pub fn apply(&self, a0: Complex64, a1: Complex64) -> (Complex64, Complex64) {
+        (
+            self.0[0][0] * a0 + self.0[0][1] * a1,
+            self.0[1][0] * a0 + self.0[1][1] * a1,
+        )
+    }
+
+    /// Kronecker product `self ⊗ rhs` (a 4×4 matrix).
+    pub fn kron(&self, rhs: &Mat2) -> Mat4 {
+        let mut out = [[Complex64::ZERO; 4]; 4];
+        for r1 in 0..2 {
+            for c1 in 0..2 {
+                for r2 in 0..2 {
+                    for c2 in 0..2 {
+                        out[r1 * 2 + r2][c1 * 2 + c2] = self.0[r1][c1] * rhs.0[r2][c2];
+                    }
+                }
+            }
+        }
+        Mat4(out)
+    }
+}
+
+/// A 4×4 complex matrix, row-major.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat4(pub [[Complex64; 4]; 4]);
+
+impl Mat4 {
+    /// The 4×4 identity.
+    pub fn identity() -> Mat4 {
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = Complex64::ONE;
+        }
+        Mat4(m)
+    }
+
+    /// The controlled-NOT matrix in the basis |c t⟩ with the control as the
+    /// high bit — the `CX` form printed in the paper's background section.
+    pub fn cnot() -> Mat4 {
+        let o = Complex64::ONE;
+        let z = Complex64::ZERO;
+        Mat4([[o, z, z, z], [z, o, z, z], [z, z, z, o], [z, z, o, z]])
+    }
+
+    /// The SWAP matrix.
+    pub fn swap() -> Mat4 {
+        let o = Complex64::ONE;
+        let z = Complex64::ZERO;
+        Mat4([[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]])
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex64 {
+        self.0[r][c]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = [[Complex64::ZERO; 4]; 4];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_rc) in out_row.iter_mut().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for k in 0..4 {
+                    acc += self.0[r][k] * rhs.0[k][c];
+                }
+                *out_rc = acc;
+            }
+        }
+        Mat4(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat4 {
+        let mut out = [[Complex64::ZERO; 4]; 4];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_rc) in out_row.iter_mut().enumerate() {
+                *out_rc = self.0[c][r].conj();
+            }
+        }
+        Mat4(out)
+    }
+
+    /// True if `self * self† ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Mat4::identity(), tol)
+    }
+
+    /// Entrywise approximate equality.
+    pub fn approx_eq(&self, other: &Mat4, tol: f64) -> bool {
+        (0..4).all(|r| (0..4).all(|c| self.0[r][c].approx_eq(other.0[r][c], tol)))
+    }
+}
+
+/// Convenience: a real 2×2 matrix.
+pub fn mat2_real(a: f64, b: f64, c: f64, d: f64) -> Mat2 {
+    Mat2::new(c64(a, 0.0), c64(b, 0.0), c64(c, 0.0), c64(d, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    const TOL: f64 = 1e-12;
+
+    fn hadamard() -> Mat2 {
+        mat2_real(
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            -FRAC_1_SQRT_2,
+        )
+    }
+
+    #[test]
+    fn identity_is_unitary_and_neutral() {
+        assert!(Mat2::IDENTITY.is_unitary(TOL));
+        let h = hadamard();
+        assert!(h.mul(&Mat2::IDENTITY).approx_eq(&h, TOL));
+        assert!(Mat2::IDENTITY.mul(&h).approx_eq(&h, TOL));
+    }
+
+    #[test]
+    fn hadamard_self_inverse() {
+        let h = hadamard();
+        assert!(h.is_unitary(TOL));
+        assert!(h.mul(&h).approx_eq(&Mat2::IDENTITY, TOL));
+    }
+
+    #[test]
+    fn apply_matches_mul() {
+        let h = hadamard();
+        let (a0, a1) = h.apply(Complex64::ONE, Complex64::ZERO);
+        assert!(a0.approx_eq(c64(FRAC_1_SQRT_2, 0.0), TOL));
+        assert!(a1.approx_eq(c64(FRAC_1_SQRT_2, 0.0), TOL));
+    }
+
+    #[test]
+    fn diagonal_and_antidiagonal_detection() {
+        let z = mat2_real(1.0, 0.0, 0.0, -1.0);
+        assert!(z.is_diagonal(TOL));
+        assert!(!z.is_antidiagonal(TOL));
+        let x = mat2_real(0.0, 1.0, 1.0, 0.0);
+        assert!(x.is_antidiagonal(TOL));
+        assert!(!x.is_diagonal(TOL));
+        let h = hadamard();
+        assert!(!h.is_diagonal(TOL) && !h.is_antidiagonal(TOL));
+    }
+
+    #[test]
+    fn kron_reproduces_paper_cx() {
+        // |0><0| ⊗ I + |1><1| ⊗ X == CX with control = high bit.
+        let p0 = mat2_real(1.0, 0.0, 0.0, 0.0);
+        let p1 = mat2_real(0.0, 0.0, 0.0, 1.0);
+        let x = mat2_real(0.0, 1.0, 1.0, 0.0);
+        let a = p0.kron(&Mat2::IDENTITY);
+        let b = p1.kron(&x);
+        let mut sum = [[Complex64::ZERO; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                sum[r][c] = a.0[r][c] + b.0[r][c];
+            }
+        }
+        assert!(Mat4(sum).approx_eq(&Mat4::cnot(), TOL));
+    }
+
+    #[test]
+    fn mat4_unitaries() {
+        assert!(Mat4::identity().is_unitary(TOL));
+        assert!(Mat4::cnot().is_unitary(TOL));
+        assert!(Mat4::swap().is_unitary(TOL));
+        // CNOT and SWAP are self-inverse.
+        assert!(Mat4::cnot().mul(&Mat4::cnot()).approx_eq(&Mat4::identity(), TOL));
+        assert!(Mat4::swap().mul(&Mat4::swap()).approx_eq(&Mat4::identity(), TOL));
+    }
+
+    #[test]
+    fn adjoint_involution() {
+        let h = hadamard();
+        assert!(h.adjoint().adjoint().approx_eq(&h, TOL));
+        let c = Mat4::cnot();
+        assert!(c.adjoint().adjoint().approx_eq(&c, TOL));
+    }
+
+    #[test]
+    fn scale_by_phase_preserves_unitarity() {
+        let h = hadamard().scale(Complex64::exp_i(0.7));
+        assert!(h.is_unitary(TOL));
+    }
+}

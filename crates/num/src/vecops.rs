@@ -1,0 +1,108 @@
+//! Helpers over amplitude vectors: norms, fidelity, comparisons.
+
+use crate::complex::Complex64;
+
+/// Sum of squared magnitudes — must be ≈ 1 for a physical state.
+pub fn norm_sqr(v: &[Complex64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// `|⟨a|b⟩|²` — 1 for identical physical states.
+pub fn fidelity(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let inner = a
+        .iter()
+        .zip(b)
+        .fold(Complex64::ZERO, |acc, (x, y)| acc + x.conj() * *y);
+    inner.norm_sqr()
+}
+
+/// Largest entrywise distance `max_i |a_i - b_i|`.
+pub fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// True if every amplitude matches within `tol`.
+pub fn approx_eq(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, tol))
+}
+
+/// The all-zeros computational basis state |0…0⟩ on `n` qubits.
+pub fn ket_zero(n_qubits: usize) -> Vec<Complex64> {
+    let mut v = vec![Complex64::ZERO; 1usize << n_qubits];
+    v[0] = Complex64::ONE;
+    v
+}
+
+/// Per-basis-state probabilities (squared magnitudes).
+pub fn probabilities(v: &[Complex64]) -> Vec<f64> {
+    v.iter().map(|z| z.norm_sqr()).collect()
+}
+
+/// Indices of the `k` largest-probability basis states, descending.
+pub fn top_k(v: &[Complex64], k: usize) -> Vec<(usize, f64)> {
+    let mut probs: Vec<(usize, f64)> = v
+        .iter()
+        .enumerate()
+        .map(|(i, z)| (i, z.norm_sqr()))
+        .collect();
+    probs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    probs.truncate(k);
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn ket_zero_is_normalized() {
+        let v = ket_zero(4);
+        assert_eq!(v.len(), 16);
+        assert!((norm_sqr(&v) - 1.0).abs() < 1e-12);
+        assert!(v[0].is_one(1e-12));
+    }
+
+    #[test]
+    fn fidelity_of_identical_and_orthogonal() {
+        let a = vec![c64(FRAC_1_SQRT_2, 0.0), c64(FRAC_1_SQRT_2, 0.0)];
+        let b = vec![c64(FRAC_1_SQRT_2, 0.0), c64(-FRAC_1_SQRT_2, 0.0)];
+        assert!((fidelity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(fidelity(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_ignores_global_phase() {
+        let a = vec![c64(1.0, 0.0), Complex64::ZERO];
+        let b = vec![Complex64::exp_i(1.3), Complex64::ZERO];
+        assert!((fidelity(&a, &b) - 1.0).abs() < 1e-12);
+        // ...while entrywise comparison does not.
+        assert!(!approx_eq(&a, &b, 1e-6));
+    }
+
+    #[test]
+    fn top_k_sorted_desc() {
+        let v = vec![
+            c64(0.1, 0.0),
+            c64(0.9, 0.0),
+            c64(0.0, 0.4),
+            Complex64::ZERO,
+        ];
+        let t = top_k(&v, 2);
+        assert_eq!(t[0].0, 1);
+        assert_eq!(t[1].0, 2);
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        let a = vec![c64(1.0, 0.0), c64(0.0, 0.0)];
+        let b = vec![c64(1.0, 0.0), c64(0.0, 0.5)];
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-12);
+    }
+}

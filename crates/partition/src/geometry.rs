@@ -1,0 +1,115 @@
+//! Block geometry: how a `2^n` state vector divides into blocks.
+
+/// The division of a state vector into equal, power-of-two-sized blocks
+/// (the paper's data blocks; default size 256 amplitudes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockGeometry {
+    num_qubits: u8,
+    /// log2 of the block size in amplitudes.
+    log2_block: u8,
+}
+
+impl BlockGeometry {
+    /// Creates a geometry. `block_size` must be a power of two; it is
+    /// clamped to the state length (a small circuit gets one block, which
+    /// is why the paper notes 8-qubit circuits show no task parallelism at
+    /// the default 256).
+    pub fn new(num_qubits: u8, block_size: usize) -> BlockGeometry {
+        assert!(block_size.is_power_of_two(), "block size must be 2^k");
+        assert!(num_qubits >= 1 && num_qubits <= 30, "1..=30 qubits");
+        let state_len = 1usize << num_qubits;
+        let clamped = block_size.min(state_len);
+        BlockGeometry {
+            num_qubits,
+            log2_block: clamped.trailing_zeros() as u8,
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> u8 {
+        self.num_qubits
+    }
+
+    /// Amplitudes in the state vector (`2^n`).
+    #[inline]
+    pub fn state_len(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Amplitudes per block.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        1usize << self.log2_block
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.state_len() >> self.log2_block
+    }
+
+    /// The block containing state index `idx`.
+    #[inline]
+    pub fn block_of(&self, idx: usize) -> usize {
+        idx >> self.log2_block
+    }
+
+    /// The state-index range `[start, end)` of block `b`.
+    #[inline]
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let start = b << self.log2_block;
+        start..start + self.block_size()
+    }
+
+    /// Offset of `idx` within its block.
+    #[inline]
+    pub fn offset_in_block(&self, idx: usize) -> usize {
+        idx & (self.block_size() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_geometry() {
+        // 5 qubits, block size 4 — the Figure 4 setup.
+        let g = BlockGeometry::new(5, 4);
+        assert_eq!(g.state_len(), 32);
+        assert_eq!(g.block_size(), 4);
+        assert_eq!(g.num_blocks(), 8);
+        assert_eq!(g.block_of(16), 4);
+        assert_eq!(g.block_of(31), 7);
+        assert_eq!(g.block_range(4), 16..20);
+        assert_eq!(g.offset_in_block(18), 2);
+    }
+
+    #[test]
+    fn clamps_block_to_state() {
+        // The paper's default 256-amplitude block on an 8-qubit state is
+        // exactly one block; on smaller states it clamps.
+        let g = BlockGeometry::new(3, 256);
+        assert_eq!(g.block_size(), 8);
+        assert_eq!(g.num_blocks(), 1);
+        let g = BlockGeometry::new(8, 256);
+        assert_eq!(g.num_blocks(), 1);
+        let g = BlockGeometry::new(10, 256);
+        assert_eq!(g.num_blocks(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = BlockGeometry::new(5, 3);
+    }
+
+    #[test]
+    fn block_one_amplitude() {
+        let g = BlockGeometry::new(4, 1);
+        assert_eq!(g.num_blocks(), 16);
+        assert_eq!(g.block_of(7), 7);
+        assert_eq!(g.block_range(7), 7..8);
+    }
+}

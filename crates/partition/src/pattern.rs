@@ -1,0 +1,235 @@
+//! Ordered enumeration of the state indices a linear gate op touches.
+//!
+//! A non-superposition gate touches a regular, periodic set of indices:
+//! those whose control bits are 1 (and, for pair ops, whose target bit is
+//! 0 — the pair's low half). The k-th touched low index is obtained by
+//! scattering the bits of `k` into the *free* bit positions; serial
+//! iteration uses the ascending-submask trick `s = (s - m) & m`. This is
+//! the machinery behind the paper's "the memory region of a block can be
+//! quickly decided by replacing the x's with the binary string of a
+//! multiple of B" and its symmetry observation.
+
+/// The touched-index pattern of a linear gate operation.
+///
+/// Low indices are `base | scatter(k, free_mask)` for `k` in
+/// `0..num_items()`; for pair items the high partner is
+/// `(low & !partner_clear) | partner_set`. Single-index items have both
+/// partner masks zero (partner == low).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ItemPattern {
+    /// Bits forced to 1 in every low index (controls, and fixed target bits).
+    pub base: u64,
+    /// Bits that enumerate freely.
+    pub free_mask: u64,
+    /// Bits cleared to obtain the partner index.
+    pub partner_clear: u64,
+    /// Bits set to obtain the partner index.
+    pub partner_set: u64,
+}
+
+impl ItemPattern {
+    /// Number of touched items (`2^popcount(free_mask)`).
+    #[inline]
+    pub fn num_items(&self) -> u64 {
+        1u64 << self.free_mask.count_ones()
+    }
+
+    /// True if items are pairs (anti-diagonal / swap ops).
+    #[inline]
+    pub fn is_pair(&self) -> bool {
+        self.partner_clear != 0 || self.partner_set != 0
+    }
+
+    /// The k-th low index, by scattering `k`'s bits over `free_mask`.
+    pub fn nth_low(&self, k: u64) -> u64 {
+        debug_assert!(k < self.num_items());
+        let mut result = self.base;
+        let mut mask = self.free_mask;
+        let mut k = k;
+        while mask != 0 && k != 0 {
+            let bit = mask & mask.wrapping_neg(); // lowest set bit
+            if k & 1 != 0 {
+                result |= bit;
+            }
+            k >>= 1;
+            mask &= mask - 1;
+        }
+        result
+    }
+
+    /// The partner (high) index of a low index. Equals `low` for
+    /// single-index items.
+    #[inline]
+    pub fn partner(&self, low: u64) -> u64 {
+        (low & !self.partner_clear) | self.partner_set
+    }
+
+    /// Largest state index the item of rank `k` touches.
+    #[inline]
+    pub fn nth_max_index(&self, k: u64) -> u64 {
+        let low = self.nth_low(k);
+        self.partner(low).max(low)
+    }
+
+    /// Iterates the low indices of items `ranks.start..ranks.end` in
+    /// order, O(1) per step.
+    pub fn iter_lows(&self, ranks: std::ops::Range<u64>) -> LowIter {
+        let cur = if ranks.start < ranks.end {
+            self.nth_low(ranks.start) & self.free_mask
+        } else {
+            0
+        };
+        LowIter {
+            pattern: *self,
+            scatter: cur,
+            remaining: ranks.end - ranks.start.min(ranks.end),
+        }
+    }
+}
+
+/// Serial iterator over touched low indices.
+pub struct LowIter {
+    pattern: ItemPattern,
+    /// Current scattered value (submask of `free_mask`).
+    scatter: u64,
+    remaining: u64,
+}
+
+impl Iterator for LowIter {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let low = self.pattern.base | self.scatter;
+        // Ascending submask enumeration: next = (cur - mask) & mask.
+        self.scatter = self
+            .scatter
+            .wrapping_sub(self.pattern.free_mask)
+            & self.pattern.free_mask;
+        Some(low)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for LowIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_lows(p: &ItemPattern, n_qubits: u8) -> Vec<u64> {
+        // All indices matching base on non-free bits, ascending.
+        let all = 1u64 << n_qubits;
+        (0..all)
+            .filter(|i| i & !p.free_mask == p.base)
+            .collect()
+    }
+
+    fn pattern(base: u64, free: u64, clear: u64, set: u64) -> ItemPattern {
+        ItemPattern {
+            base,
+            free_mask: free,
+            partner_clear: clear,
+            partner_set: set,
+        }
+    }
+
+    #[test]
+    fn g6_pattern_matches_paper() {
+        // G6: CNOT control q4, target q3 on 5 qubits. Lows: 10xxx.
+        let p = pattern(0b10000, 0b00111, 0, 0b01000);
+        assert_eq!(p.num_items(), 8);
+        let lows: Vec<u64> = p.iter_lows(0..8).collect();
+        assert_eq!(lows, vec![16, 17, 18, 19, 20, 21, 22, 23]);
+        assert_eq!(p.partner(16), 24);
+        assert_eq!(p.partner(23), 31);
+        assert!(p.is_pair());
+    }
+
+    #[test]
+    fn nth_low_matches_brute_force() {
+        for (base, free) in [
+            (0b10000u64, 0b00111u64),
+            (0b00100, 0b11011),
+            (0, 0b11111),
+            (0b01010, 0b00101),
+            (0b11111, 0),
+        ] {
+            let p = pattern(base, free, 0, 0);
+            let brute = brute_force_lows(&p, 5);
+            assert_eq!(p.num_items(), brute.len() as u64);
+            for (k, want) in brute.iter().enumerate() {
+                assert_eq!(p.nth_low(k as u64), *want, "base={base:b} free={free:b} k={k}");
+            }
+            let iterated: Vec<u64> = p.iter_lows(0..p.num_items()).collect();
+            assert_eq!(iterated, brute);
+        }
+    }
+
+    #[test]
+    fn iter_subrange() {
+        let p = pattern(0b100, 0b11011, 0, 0);
+        let all: Vec<u64> = p.iter_lows(0..p.num_items()).collect();
+        let sub: Vec<u64> = p.iter_lows(3..9).collect();
+        assert_eq!(sub, all[3..9].to_vec());
+        assert_eq!(p.iter_lows(5..5).count(), 0);
+    }
+
+    #[test]
+    fn swap_partner() {
+        // SWAP(q1, q3): low has q1=1, q3=0; partner flips both.
+        let p = pattern(0b00010, 0b10101, 0b00010, 0b01000);
+        let lows: Vec<u64> = p.iter_lows(0..p.num_items()).collect();
+        assert_eq!(lows, vec![2, 3, 6, 7, 18, 19, 22, 23]);
+        assert_eq!(p.partner(2), 8);
+        assert_eq!(p.partner(7), 13);
+        // Partner order is monotone in low.
+        let partners: Vec<u64> = lows.iter().map(|&l| p.partner(l)).collect();
+        let mut sorted = partners.clone();
+        sorted.sort_unstable();
+        assert_eq!(partners, sorted);
+    }
+
+    #[test]
+    fn fully_controlled_single_item() {
+        let p = pattern(0b111, 0, 0, 0);
+        assert_eq!(p.num_items(), 1);
+        assert_eq!(p.nth_low(0), 0b111);
+        assert_eq!(p.iter_lows(0..1).collect::<Vec<_>>(), vec![0b111]);
+    }
+
+    #[test]
+    fn max_index() {
+        let p = pattern(0b10000, 0b00111, 0, 0b01000);
+        assert_eq!(p.nth_max_index(0), 24);
+        assert_eq!(p.nth_max_index(7), 31);
+    }
+
+    #[test]
+    fn random_patterns_against_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let n = rng.random_range(1..=10u8);
+            let universe = (1u64 << n) - 1;
+            let base = rng.random::<u64>() & universe;
+            let free = rng.random::<u64>() & universe & !base;
+            let base = base & !free;
+            let p = pattern(base, free, 0, 0);
+            let brute = brute_force_lows(&p, n);
+            let got: Vec<u64> = p.iter_lows(0..p.num_items()).collect();
+            assert_eq!(got, brute);
+            if !brute.is_empty() {
+                let k = rng.random_range(0..brute.len() as u64);
+                assert_eq!(p.nth_low(k), brute[k as usize]);
+            }
+        }
+    }
+}

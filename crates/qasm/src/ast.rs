@@ -1,0 +1,182 @@
+//! AST for the OpenQASM 2.0 subset.
+
+/// A parameter expression (evaluated at lowering time).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// The constant π.
+    Pi,
+    /// A gate-definition formal parameter.
+    Param(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(char, Box<Expr>, Box<Expr>),
+    /// Built-in function call (`sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`).
+    Call(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates with formal parameters bound to `env`.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<f64>) -> Result<f64, String> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Pi => std::f64::consts::PI,
+            Expr::Param(name) => env(name).ok_or_else(|| format!("unbound parameter '{name}'"))?,
+            Expr::Neg(e) => -e.eval(env)?,
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(env)?, b.eval(env)?);
+                match op {
+                    '+' => a + b,
+                    '-' => a - b,
+                    '*' => a * b,
+                    '/' => a / b,
+                    '^' => a.powf(b),
+                    other => return Err(format!("unknown operator '{other}'")),
+                }
+            }
+            Expr::Call(f, e) => {
+                let v = e.eval(env)?;
+                match f.as_str() {
+                    "sin" => v.sin(),
+                    "cos" => v.cos(),
+                    "tan" => v.tan(),
+                    "exp" => v.exp(),
+                    "ln" => v.ln(),
+                    "sqrt" => v.sqrt(),
+                    other => return Err(format!("unknown function '{other}'")),
+                }
+            }
+        })
+    }
+}
+
+/// A quantum or classical argument: register name plus optional index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Arg {
+    /// Register name.
+    pub reg: String,
+    /// `None` means the whole register (broadcast).
+    pub index: Option<usize>,
+}
+
+/// One operation inside a gate body or the main program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// A gate application.
+    Gate {
+        /// Gate name.
+        name: String,
+        /// Parameter expressions.
+        params: Vec<Expr>,
+        /// Quantum arguments.
+        qargs: Vec<Arg>,
+    },
+    /// `barrier` over the given arguments (empty = all).
+    Barrier(Vec<Arg>),
+    /// `measure q -> c` (recorded; ignored by the engines).
+    Measure {
+        /// Source qubit(s).
+        q: Arg,
+        /// Destination bit(s).
+        c: Arg,
+    },
+    /// `reset q` (recorded; ignored by the engines).
+    Reset(Arg),
+}
+
+/// A user gate definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateDef {
+    /// Gate name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Formal qubit argument names.
+    pub qargs: Vec<String>,
+    /// Body operations (only `Op::Gate` and `Op::Barrier` are legal).
+    pub body: Vec<Op>,
+}
+
+/// A parsed OpenQASM program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Quantum registers in declaration order: (name, size).
+    pub qregs: Vec<(String, usize)>,
+    /// Classical registers in declaration order: (name, size).
+    pub cregs: Vec<(String, usize)>,
+    /// User gate definitions by name.
+    pub gate_defs: Vec<GateDef>,
+    /// Top-level operations in program order.
+    pub ops: Vec<Op>,
+    /// Included file names (informational; qelib1.inc is built in).
+    pub includes: Vec<String>,
+}
+
+impl Program {
+    /// Total number of qubits across registers.
+    pub fn num_qubits(&self) -> usize {
+        self.qregs.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Global index of `reg[idx]` under declaration-order packing
+    /// (first register at bit 0).
+    pub fn qubit_offset(&self, reg: &str) -> Option<usize> {
+        let mut off = 0;
+        for (name, size) in &self.qregs {
+            if name == reg {
+                return Some(off);
+            }
+            off += size;
+        }
+        None
+    }
+
+    /// Size of register `reg`.
+    pub fn qreg_size(&self, reg: &str) -> Option<usize> {
+        self.qregs
+            .iter()
+            .find(|(name, _)| name == reg)
+            .map(|(_, n)| *n)
+    }
+
+    /// Looks up a user gate definition.
+    pub fn gate_def(&self, name: &str) -> Option<&GateDef> {
+        self.gate_defs.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval() {
+        let e = Expr::Bin(
+            '/',
+            Box::new(Expr::Pi),
+            Box::new(Expr::Num(2.0)),
+        );
+        let v = e.eval(&|_| None).unwrap();
+        assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        let e = Expr::Neg(Box::new(Expr::Param("theta".into())));
+        assert_eq!(e.eval(&|n| (n == "theta").then_some(0.5)).unwrap(), -0.5);
+        assert!(e.eval(&|_| None).is_err());
+        let e = Expr::Call("sqrt".into(), Box::new(Expr::Num(9.0)));
+        assert_eq!(e.eval(&|_| None).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn qubit_offsets() {
+        let p = Program {
+            qregs: vec![("a".into(), 3), ("b".into(), 2)],
+            ..Default::default()
+        };
+        assert_eq!(p.num_qubits(), 5);
+        assert_eq!(p.qubit_offset("a"), Some(0));
+        assert_eq!(p.qubit_offset("b"), Some(3));
+        assert_eq!(p.qubit_offset("c"), None);
+        assert_eq!(p.qreg_size("b"), Some(2));
+    }
+}

@@ -1,0 +1,30 @@
+//! Parse and lowering errors with source positions.
+
+/// An error raised while parsing or lowering OpenQASM source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QasmError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl QasmError {
+    pub(crate) fn new(message: impl Into<String>, line: usize, col: usize) -> QasmError {
+        QasmError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}

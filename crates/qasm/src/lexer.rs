@@ -1,0 +1,215 @@
+//! Tokenizer for OpenQASM 2.0.
+
+use crate::error::QasmError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Real literal.
+    Real(f64),
+    /// Integer literal.
+    Int(u64),
+    /// String literal (e.g. include paths).
+    Str(String),
+    /// A punctuation/operator symbol.
+    Sym(char),
+    /// `->` (measure arrow).
+    Arrow,
+    /// `==` (if condition).
+    EqEq,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenizes the whole source.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, QasmError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let (mut line, mut col) = (1usize, 1usize);
+    let advance = |i: &mut usize, line: &mut usize, col: &mut usize, by: usize, b: &[u8]| {
+        for _ in 0..by {
+            if b[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col, 1, bytes),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+            }
+            '"' => {
+                let (sl, sc) = (line, col);
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                if i >= bytes.len() {
+                    return Err(QasmError::new("unterminated string", sl, sc));
+                }
+                let s = std::str::from_utf8(&bytes[start..i])
+                    .map_err(|_| QasmError::new("invalid UTF-8 in string", sl, sc))?;
+                out.push(Spanned {
+                    tok: Tok::Str(s.to_string()),
+                    line: sl,
+                    col: sc,
+                });
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let (sl, sc) = (line, col);
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                let s = std::str::from_utf8(&bytes[start..i]).expect("ASCII ident");
+                out.push(Spanned {
+                    tok: Tok::Ident(s.to_string()),
+                    line: sl,
+                    col: sc,
+                });
+            }
+            '0'..='9' | '.' => {
+                let (sl, sc) = (line, col);
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_digit() {
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                    } else if b == b'.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                    } else if (b == b'e' || b == b'E') && !saw_exp {
+                        saw_exp = true;
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            advance(&mut i, &mut line, &mut col, 1, bytes);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let s = std::str::from_utf8(&bytes[start..i]).expect("ASCII number");
+                let tok = if saw_dot || saw_exp {
+                    Tok::Real(s.parse().map_err(|_| {
+                        QasmError::new(format!("bad real literal '{s}'"), sl, sc)
+                    })?)
+                } else {
+                    Tok::Int(s.parse().map_err(|_| {
+                        QasmError::new(format!("bad integer literal '{s}'"), sl, sc)
+                    })?)
+                };
+                out.push(Spanned { tok, line: sl, col: sc });
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    line,
+                    col,
+                });
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned {
+                    tok: Tok::EqEq,
+                    line,
+                    col,
+                });
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '+' | '-' | '*' | '/' | '^' => {
+                out.push(Spanned {
+                    tok: Tok::Sym(c),
+                    line,
+                    col,
+                });
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            other => {
+                return Err(QasmError::new(
+                    format!("unexpected character '{other}'"),
+                    line,
+                    col,
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_header() {
+        let toks = lex("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("OPENQASM".into()));
+        assert_eq!(toks[1].tok, Tok::Real(2.0));
+        assert_eq!(toks[2].tok, Tok::Sym(';'));
+        assert_eq!(toks[3].tok, Tok::Ident("include".into()));
+        assert_eq!(toks[4].tok, Tok::Str("qelib1.inc".into()));
+    }
+
+    #[test]
+    fn lexes_gate_call_with_params() {
+        let toks = lex("rz(pi/2) q[3];").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert_eq!(kinds[0], &Tok::Ident("rz".into()));
+        assert_eq!(kinds[1], &Tok::Sym('('));
+        assert_eq!(kinds[2], &Tok::Ident("pi".into()));
+        assert_eq!(kinds[3], &Tok::Sym('/'));
+        assert_eq!(kinds[4], &Tok::Int(2));
+    }
+
+    #[test]
+    fn comments_and_arrow() {
+        let toks = lex("// a comment\nmeasure q[0] -> c[0];").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("measure".into()));
+        assert!(toks.iter().any(|t| t.tok == Tok::Arrow));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("h q;\nx q;").unwrap();
+        let x = toks.iter().find(|t| t.tok == Tok::Ident("x".into())).unwrap();
+        assert_eq!((x.line, x.col), (2, 1));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = lex("rz(1.5e-3) q;").unwrap();
+        assert!(matches!(toks[2].tok, Tok::Real(v) if (v - 1.5e-3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("h q; @").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Lowering: AST → levelized [`Circuit`].
+//!
+//! Expands user gate definitions recursively, broadcasts whole-register
+//! operations, evaluates parameter expressions, and feeds the flat gate
+//! stream through [`CircuitBuilder`] so each level becomes one net — the
+//! paper's QASMBench convention.
+
+use crate::ast::{Arg, Op, Program};
+use crate::error::QasmError;
+use qtask_circuit::{Circuit, CircuitBuilder};
+use qtask_gates::GateKind;
+
+/// Recursion limit for nested gate definitions.
+const MAX_DEPTH: usize = 64;
+
+/// Parses OpenQASM 2.0 source and lowers it to a levelized circuit.
+pub fn parse_to_circuit(src: &str) -> Result<Circuit, QasmError> {
+    let program = crate::parse_program(src)?;
+    lower(&program)
+}
+
+/// Lowers a parsed program to a levelized circuit.
+pub fn lower(program: &Program) -> Result<Circuit, QasmError> {
+    let n = program.num_qubits();
+    if n == 0 || n > qtask_circuit::MAX_QUBITS as usize {
+        return Err(QasmError::new(
+            format!("unsupported qubit count {n}"),
+            0,
+            0,
+        ));
+    }
+    let mut builder = CircuitBuilder::new(n as u8);
+    for op in &program.ops {
+        lower_op(program, op, &mut builder, &|_| None, &|_| None, 0)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Resolves a formal or concrete qubit argument to global indices.
+fn resolve_qubits(
+    program: &Program,
+    arg: &Arg,
+    qubit_env: &dyn Fn(&str) -> Option<u8>,
+) -> Result<Vec<u8>, QasmError> {
+    // Inside a gate body, bare names are formals.
+    if arg.index.is_none() {
+        if let Some(q) = qubit_env(&arg.reg) {
+            return Ok(vec![q]);
+        }
+    }
+    let off = program
+        .qubit_offset(&arg.reg)
+        .ok_or_else(|| QasmError::new(format!("unknown register '{}'", arg.reg), 0, 0))?;
+    let size = program.qreg_size(&arg.reg).expect("offset implies size");
+    match arg.index {
+        Some(i) if i < size => Ok(vec![(off + i) as u8]),
+        Some(i) => Err(QasmError::new(
+            format!("index {i} out of range for {}[{size}]", arg.reg),
+            0,
+            0,
+        )),
+        None => Ok((off..off + size).map(|q| q as u8).collect()),
+    }
+}
+
+fn lower_op(
+    program: &Program,
+    op: &Op,
+    builder: &mut CircuitBuilder,
+    param_env: &dyn Fn(&str) -> Option<f64>,
+    qubit_env: &dyn Fn(&str) -> Option<u8>,
+    depth: usize,
+) -> Result<(), QasmError> {
+    if depth > MAX_DEPTH {
+        return Err(QasmError::new("gate definition recursion too deep", 0, 0));
+    }
+    match op {
+        Op::Barrier(_) => {
+            builder.barrier();
+            Ok(())
+        }
+        Op::Measure { .. } | Op::Reset(_) => Ok(()), // state-vector engines ignore these
+        Op::Gate {
+            name,
+            params,
+            qargs,
+        } => {
+            let values: Vec<f64> = params
+                .iter()
+                .map(|e| e.eval(param_env))
+                .collect::<Result<_, _>>()
+                .map_err(|m| QasmError::new(m, 0, 0))?;
+            // Resolve each argument to one or more qubits (broadcast).
+            let resolved: Vec<Vec<u8>> = qargs
+                .iter()
+                .map(|a| resolve_qubits(program, a, qubit_env))
+                .collect::<Result<_, _>>()?;
+            let broadcast = resolved.iter().map(|v| v.len()).max().unwrap_or(1);
+            for (name_check, v) in qargs.iter().zip(&resolved) {
+                if v.len() != 1 && v.len() != broadcast {
+                    return Err(QasmError::new(
+                        format!("mismatched broadcast width at '{}'", name_check.reg),
+                        0,
+                        0,
+                    ));
+                }
+            }
+            for rep in 0..broadcast {
+                let qubits: Vec<u8> = resolved
+                    .iter()
+                    .map(|v| if v.len() == 1 { v[0] } else { v[rep] })
+                    .collect();
+                if let Some(kind) = GateKind::from_qasm(name, &values) {
+                    builder.push(kind, &qubits).map_err(|e| {
+                        QasmError::new(format!("gate '{name}': {e}"), 0, 0)
+                    })?;
+                } else if let Some(def) = program.gate_def(name) {
+                    if def.params.len() != values.len() || def.qargs.len() != qubits.len() {
+                        return Err(QasmError::new(
+                            format!("arity mismatch calling gate '{name}'"),
+                            0,
+                            0,
+                        ));
+                    }
+                    let params_owned: Vec<(String, f64)> = def
+                        .params
+                        .iter()
+                        .cloned()
+                        .zip(values.iter().copied())
+                        .collect();
+                    let qubits_owned: Vec<(String, u8)> = def
+                        .qargs
+                        .iter()
+                        .cloned()
+                        .zip(qubits.iter().copied())
+                        .collect();
+                    let inner_params = move |p: &str| {
+                        params_owned
+                            .iter()
+                            .find(|(n, _)| n == p)
+                            .map(|(_, v)| *v)
+                    };
+                    let inner_qubits = move |q: &str| {
+                        qubits_owned
+                            .iter()
+                            .find(|(n, _)| n == q)
+                            .map(|(_, v)| *v)
+                    };
+                    for inner in &def.body {
+                        lower_op(program, inner, builder, &inner_params, &inner_qubits, depth + 1)?;
+                    }
+                } else {
+                    return Err(QasmError::new(format!("unknown gate '{name}'"), 0, 0));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtask_circuit::CircuitStats;
+
+    #[test]
+    fn lowers_ghz() {
+        let ckt = parse_to_circuit(
+            "OPENQASM 2.0; qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];",
+        )
+        .unwrap();
+        let s = CircuitStats::of(&ckt);
+        assert_eq!(s.qubits, 3);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.cnots, 2);
+        assert_eq!(s.nets, 3);
+    }
+
+    #[test]
+    fn broadcasts_whole_register() {
+        let ckt = parse_to_circuit("qreg q[4]; h q;").unwrap();
+        let s = CircuitStats::of(&ckt);
+        assert_eq!(s.gates, 4);
+        assert_eq!(s.nets, 1);
+    }
+
+    #[test]
+    fn expands_user_gates() {
+        let src = "
+            gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+            qreg q[3];
+            majority q[0],q[1],q[2];
+        ";
+        let ckt = parse_to_circuit(src).unwrap();
+        let s = CircuitStats::of(&ckt);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.cnots, 2);
+        assert_eq!(s.by_kind.get("ccx"), Some(&1));
+    }
+
+    #[test]
+    fn expands_parameterized_gates() {
+        let src = "
+            gate zz(theta) a,b { cx a,b; rz(2*theta) b; cx a,b; }
+            qreg q[2];
+            zz(0.25) q[0],q[1];
+        ";
+        let ckt = parse_to_circuit(src).unwrap();
+        let gates: Vec<_> = ckt.ordered_gates().map(|(_, g)| g.kind()).collect();
+        assert!(gates.contains(&GateKind::Rz(0.5)));
+    }
+
+    #[test]
+    fn nested_gate_definitions() {
+        let src = "
+            gate inner a { h a; }
+            gate outer a,b { inner a; cx a,b; inner b; }
+            qreg q[2];
+            outer q[0],q[1];
+        ";
+        let ckt = parse_to_circuit(src).unwrap();
+        assert_eq!(CircuitStats::of(&ckt).gates, 3);
+    }
+
+    #[test]
+    fn measure_and_creg_are_ignored() {
+        let ckt = parse_to_circuit(
+            "qreg q[2]; creg c[2]; h q[0]; measure q[0] -> c[0]; x q[1];",
+        )
+        .unwrap();
+        assert_eq!(CircuitStats::of(&ckt).gates, 2);
+    }
+
+    #[test]
+    fn multiple_registers_pack_in_order() {
+        let ckt = parse_to_circuit("qreg a[2]; qreg b[2]; cx a[1],b[0];").unwrap();
+        let (_, g) = ckt.ordered_gates().next().unwrap();
+        assert_eq!(g.qubits(), &[1, 2]);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        assert!(parse_to_circuit("qreg q[1]; blah q[0];").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        assert!(parse_to_circuit("qreg q[2]; h q[5];").is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! Recursive-descent parser for OpenQASM 2.0.
+
+use crate::ast::{Arg, Expr, GateDef, Op, Program};
+use crate::error::QasmError;
+use crate::lexer::{lex, Spanned, Tok};
+
+/// The parser state.
+pub struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenizes `src` and prepares a parser.
+    pub fn new(src: &str) -> Result<Parser, QasmError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.peek().map(|s| (s.line, s.col)).unwrap_or((0, 0))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QasmError {
+        let (l, c) = self.here();
+        QasmError::new(msg, l, c)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), QasmError> {
+        match self.bump() {
+            Some(Spanned { tok: Tok::Sym(s), .. }) if s == c => Ok(()),
+            other => Err(self.err(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QasmError> {
+        match self.bump() {
+            Some(Spanned {
+                tok: Tok::Ident(s), ..
+            }) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Spanned { tok: Tok::Sym(s), .. }) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<usize, QasmError> {
+        match self.bump() {
+            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(v as usize),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// Parses a full program.
+    pub fn parse_program(mut self) -> Result<Program, QasmError> {
+        let mut prog = Program::default();
+        // Optional "OPENQASM 2.0;" header.
+        if matches!(self.peek(), Some(Spanned { tok: Tok::Ident(s), .. }) if s == "OPENQASM") {
+            self.bump();
+            self.bump(); // version number
+            self.expect_sym(';')?;
+        }
+        while let Some(spanned) = self.peek().cloned() {
+            match &spanned.tok {
+                Tok::Ident(word) => match word.as_str() {
+                    "include" => {
+                        self.bump();
+                        match self.bump() {
+                            Some(Spanned { tok: Tok::Str(s), .. }) => prog.includes.push(s),
+                            other => {
+                                return Err(self.err(format!("expected string, found {other:?}")))
+                            }
+                        }
+                        self.expect_sym(';')?;
+                    }
+                    "qreg" => {
+                        self.bump();
+                        let name = self.expect_ident()?;
+                        self.expect_sym('[')?;
+                        let size = self.expect_int()?;
+                        self.expect_sym(']')?;
+                        self.expect_sym(';')?;
+                        prog.qregs.push((name, size));
+                    }
+                    "creg" => {
+                        self.bump();
+                        let name = self.expect_ident()?;
+                        self.expect_sym('[')?;
+                        let size = self.expect_int()?;
+                        self.expect_sym(']')?;
+                        self.expect_sym(';')?;
+                        prog.cregs.push((name, size));
+                    }
+                    "gate" => {
+                        let def = self.parse_gate_def()?;
+                        prog.gate_defs.push(def);
+                    }
+                    "opaque" => {
+                        // Skip through the terminating semicolon.
+                        while !matches!(self.bump(), Some(Spanned { tok: Tok::Sym(';'), .. }) | None)
+                        {
+                        }
+                    }
+                    "if" => {
+                        // `if (c == n) <op>;` — classical control; parse and
+                        // drop the condition, keep the op (conservative: the
+                        // state-vector engines have no classical registers).
+                        self.bump();
+                        self.expect_sym('(')?;
+                        let _reg = self.expect_ident()?;
+                        match self.bump() {
+                            Some(Spanned { tok: Tok::EqEq, .. }) => {}
+                            other => {
+                                return Err(self.err(format!("expected '==', found {other:?}")))
+                            }
+                        }
+                        let _val = self.expect_int()?;
+                        self.expect_sym(')')?;
+                        let op = self.parse_op()?;
+                        prog.ops.push(op);
+                    }
+                    _ => {
+                        let op = self.parse_op()?;
+                        prog.ops.push(op);
+                    }
+                },
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn parse_gate_def(&mut self) -> Result<GateDef, QasmError> {
+        self.bump(); // 'gate'
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat_sym('(') {
+            if !self.eat_sym(')') {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if self.eat_sym(')') {
+                        break;
+                    }
+                    self.expect_sym(',')?;
+                }
+            }
+        }
+        let mut qargs = vec![self.expect_ident()?];
+        while self.eat_sym(',') {
+            qargs.push(self.expect_ident()?);
+        }
+        self.expect_sym('{')?;
+        let mut body = Vec::new();
+        while !self.eat_sym('}') {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated gate body"));
+            }
+            body.push(self.parse_op()?);
+        }
+        Ok(GateDef {
+            name,
+            params,
+            qargs,
+            body,
+        })
+    }
+
+    /// Parses one statement: gate call, barrier, measure or reset.
+    fn parse_op(&mut self) -> Result<Op, QasmError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "barrier" => {
+                let mut args = Vec::new();
+                if !self.eat_sym(';') {
+                    loop {
+                        args.push(self.parse_arg()?);
+                        if self.eat_sym(';') {
+                            break;
+                        }
+                        self.expect_sym(',')?;
+                    }
+                }
+                Ok(Op::Barrier(args))
+            }
+            "measure" => {
+                let q = self.parse_arg()?;
+                match self.bump() {
+                    Some(Spanned { tok: Tok::Arrow, .. }) => {}
+                    other => return Err(self.err(format!("expected '->', found {other:?}"))),
+                }
+                let c = self.parse_arg()?;
+                self.expect_sym(';')?;
+                Ok(Op::Measure { q, c })
+            }
+            "reset" => {
+                let q = self.parse_arg()?;
+                self.expect_sym(';')?;
+                Ok(Op::Reset(q))
+            }
+            _ => {
+                let mut params = Vec::new();
+                if self.eat_sym('(') {
+                    if !self.eat_sym(')') {
+                        loop {
+                            params.push(self.parse_expr()?);
+                            if self.eat_sym(')') {
+                                break;
+                            }
+                            self.expect_sym(',')?;
+                        }
+                    }
+                }
+                let mut qargs = vec![self.parse_arg()?];
+                while self.eat_sym(',') {
+                    qargs.push(self.parse_arg()?);
+                }
+                self.expect_sym(';')?;
+                Ok(Op::Gate {
+                    name,
+                    params,
+                    qargs,
+                })
+            }
+        }
+    }
+
+    fn parse_arg(&mut self) -> Result<Arg, QasmError> {
+        let reg = self.expect_ident()?;
+        let index = if self.eat_sym('[') {
+            let i = self.expect_int()?;
+            self.expect_sym(']')?;
+            Some(i)
+        } else {
+            None
+        };
+        Ok(Arg { reg, index })
+    }
+
+    // Expression grammar: additive > multiplicative > power > unary > atom.
+    fn parse_expr(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            if self.eat_sym('+') {
+                let rhs = self.parse_term()?;
+                lhs = Expr::Bin('+', Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym('-') {
+                let rhs = self.parse_term()?;
+                lhs = Expr::Bin('-', Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, QasmError> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            if self.eat_sym('*') {
+                let rhs = self.parse_power()?;
+                lhs = Expr::Bin('*', Box::new(lhs), Box::new(rhs));
+            } else if self.eat_sym('/') {
+                let rhs = self.parse_power()?;
+                lhs = Expr::Bin('/', Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, QasmError> {
+        let lhs = self.parse_unary()?;
+        if self.eat_sym('^') {
+            let rhs = self.parse_power()?; // right-associative
+            Ok(Expr::Bin('^', Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QasmError> {
+        if self.eat_sym('-') {
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else if self.eat_sym('+') {
+            self.parse_unary()
+        } else {
+            self.parse_atom()
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, QasmError> {
+        match self.bump() {
+            Some(Spanned { tok: Tok::Real(v), .. }) => Ok(Expr::Num(v)),
+            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(Expr::Num(v as f64)),
+            Some(Spanned { tok: Tok::Sym('('), .. }) => {
+                let e = self.parse_expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Spanned {
+                tok: Tok::Ident(name),
+                ..
+            }) => {
+                if name == "pi" {
+                    Ok(Expr::Pi)
+                } else if self.eat_sym('(') {
+                    let e = self.parse_expr()?;
+                    self.expect_sym(')')?;
+                    Ok(Expr::Call(name, Box::new(e)))
+                } else {
+                    Ok(Expr::Param(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = Parser::new("OPENQASM 2.0; include \"qelib1.inc\"; qreg q[3]; creg c[3]; h q[0]; cx q[0],q[1];")
+            .unwrap()
+            .parse_program()
+            .unwrap();
+        assert_eq!(p.qregs, vec![("q".into(), 3)]);
+        assert_eq!(p.cregs, vec![("c".into(), 3)]);
+        assert_eq!(p.ops.len(), 2);
+        assert_eq!(p.includes, vec!["qelib1.inc".to_string()]);
+    }
+
+    #[test]
+    fn parses_parameter_expressions() {
+        let p = Parser::new("qreg q[1]; rz(-pi/4) q[0]; u3(0.1, 2*pi, pi^2) q[0];")
+            .unwrap()
+            .parse_program()
+            .unwrap();
+        let Op::Gate { params, .. } = &p.ops[0] else {
+            panic!()
+        };
+        let v = params[0].eval(&|_| None).unwrap();
+        assert!((v + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        let Op::Gate { params, .. } = &p.ops[1] else {
+            panic!()
+        };
+        assert!((params[2].eval(&|_| None).unwrap() - std::f64::consts::PI.powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_gate_def() {
+        let src = "gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; } qreg q[3]; majority q[0],q[1],q[2];";
+        let p = Parser::new(src).unwrap().parse_program().unwrap();
+        assert_eq!(p.gate_defs.len(), 1);
+        let def = &p.gate_defs[0];
+        assert_eq!(def.name, "majority");
+        assert_eq!(def.qargs, vec!["a", "b", "c"]);
+        assert_eq!(def.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_parameterized_gate_def() {
+        let src = "gate zz(theta) a,b { cx a,b; rz(theta) b; cx a,b; } qreg q[2]; zz(0.5) q[0],q[1];";
+        let p = Parser::new(src).unwrap().parse_program().unwrap();
+        assert_eq!(p.gate_defs[0].params, vec!["theta"]);
+    }
+
+    #[test]
+    fn parses_measure_barrier_reset() {
+        let src = "qreg q[2]; creg c[2]; barrier q; measure q[0] -> c[0]; reset q[1];";
+        let p = Parser::new(src).unwrap().parse_program().unwrap();
+        assert!(matches!(p.ops[0], Op::Barrier(_)));
+        assert!(matches!(p.ops[1], Op::Measure { .. }));
+        assert!(matches!(p.ops[2], Op::Reset(_)));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        assert!(Parser::new("qreg q[2]")
+            .unwrap()
+            .parse_program()
+            .is_err());
+    }
+
+    #[test]
+    fn if_statement_keeps_op() {
+        let src = "qreg q[1]; creg c[1]; if (c == 1) x q[0];";
+        let p = Parser::new(src).unwrap().parse_program().unwrap();
+        assert!(matches!(&p.ops[0], Op::Gate { name, .. } if name == "x"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Circuit → OpenQASM 2.0 text (the workspace persistence format).
+
+use qtask_circuit::Circuit;
+use std::fmt::Write as _;
+
+/// Renders `circuit` as an OpenQASM 2.0 program. One statement per gate,
+/// net order preserved with `barrier`s between nets so a round trip
+/// re-levelizes identically.
+pub fn circuit_to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    let mut first = true;
+    for (_, net) in circuit.nets() {
+        if !first {
+            out.push_str("barrier q;\n");
+        }
+        first = false;
+        for gid in net.gates() {
+            let gate = circuit.gate(*gid).expect("net gate is live");
+            let kind = gate.kind();
+            let params = kind.params();
+            if params.is_empty() {
+                let _ = write!(out, "{}", kind.qasm_name());
+            } else {
+                let rendered: Vec<String> =
+                    params.iter().map(|p| format!("{p:.17}")).collect();
+                let _ = write!(out, "{}({})", kind.qasm_name(), rendered.join(","));
+            }
+            let args: Vec<String> = gate.qubits().iter().map(|q| format!("q[{q}]")).collect();
+            let _ = writeln!(out, " {};", args.join(","));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::parse_to_circuit;
+    use qtask_circuit::{CircuitBuilder, CircuitStats};
+    use qtask_gates::GateKind;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let mut b = CircuitBuilder::new(4);
+        b.h(0);
+        b.h(1);
+        b.cx(0, 2);
+        b.rz(0.123456789, 3);
+        b.ccx(0, 1, 3);
+        b.swap(2, 3);
+        b.cp(-0.5, 1, 0);
+        let original = b.finish();
+        let qasm = circuit_to_qasm(&original);
+        let back = parse_to_circuit(&qasm).unwrap();
+        let (s1, s2) = (CircuitStats::of(&original), CircuitStats::of(&back));
+        assert_eq!(s1.qubits, s2.qubits);
+        assert_eq!(s1.gates, s2.gates);
+        assert_eq!(s1.cnots, s2.cnots);
+        assert_eq!(s1.by_kind, s2.by_kind);
+        // Same gates in the same order with the same operands.
+        let g1: Vec<_> = original.ordered_gates().map(|(_, g)| *g).collect();
+        let g2: Vec<_> = back.ordered_gates().map(|(_, g)| *g).collect();
+        assert_eq!(g1.len(), g2.len());
+        for (a, b) in g1.iter().zip(&g2) {
+            assert_eq!(a.qubits(), b.qubits());
+            match (a.kind(), b.kind()) {
+                (GateKind::P(x), GateKind::P(y)) => assert!((x - y).abs() < 1e-15),
+                (x, y) => assert_eq!(
+                    format!("{x:?}").split('(').next(),
+                    format!("{y:?}").split('(').next()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn barriers_preserve_levels() {
+        // Two sequential X gates on different qubits could re-levelize
+        // into one net; the barrier keeps them apart.
+        let mut b = CircuitBuilder::new(2);
+        b.x(0);
+        b.barrier();
+        b.x(1);
+        let original = b.finish();
+        assert_eq!(original.num_nets(), 2);
+        let back = parse_to_circuit(&circuit_to_qasm(&original)).unwrap();
+        assert_eq!(back.num_nets(), 2);
+    }
+
+    #[test]
+    fn parameters_survive_round_trip_exactly() {
+        let mut b = CircuitBuilder::new(1);
+        let theta = 0.1234567890123456789;
+        b.rz(theta, 0);
+        let back = parse_to_circuit(&circuit_to_qasm(&b.finish())).unwrap();
+        let (_, g) = back.ordered_gates().next().unwrap();
+        let GateKind::Rz(t) = g.kind() else { panic!() };
+        assert_eq!(t, theta); // 17 significant digits round-trip f64 exactly
+    }
+}

@@ -1,0 +1,841 @@
+//! The work-stealing executor.
+//!
+//! A persistent pool of workers executes [`Taskflow`] graphs. Each run
+//! builds a private `RunCtx` of run nodes (join counters, successor
+//! pointers); workers pop jobs from their local LIFO deque, then steal
+//! from the global injector and from each other (crossbeam-deque), and
+//! park on a condition variable when idle. Subflow tasks append child run
+//! nodes dynamically; a parent completes — firing its successors and its
+//! own pending slot — only after its last child completes.
+//!
+//! # Safety model
+//!
+//! Jobs are raw pointers into the run's node storage. Three invariants
+//! make this sound:
+//!
+//! 1. **Stability** — run nodes are individually boxed; child nodes are
+//!    appended under a mutex into the context's keep-alive vector *before*
+//!    any job pointing at them is published.
+//! 2. **Liveness** — `run()` keeps the `RunCtx` alive until the done-gate
+//!    flag is set, and the flag is set only after the final `pending`
+//!    decrement; every job is consumed before that decrement, so no worker
+//!    dereferences a node after the context is freed. The done gate itself
+//!    is a separate `Arc` cloned *before* the final decrement's signal.
+//! 3. **Borrow validity** — task closures may borrow the caller's
+//!    environment (`'env`); `run()` blocks the caller until every task
+//!    completed, so those borrows outlive all uses (the same argument
+//!    `std::thread::scope` and rayon's `scope` make).
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as WorkerDeque};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::graph::{Subflow, Taskflow, Work};
+use crate::observer::{ExecEvent, Observer};
+
+/// A unit of scheduled work: a pointer to a live run node.
+#[derive(Clone, Copy)]
+struct Job(*const RunNode);
+
+// SAFETY: the pointee is kept alive by the RunCtx for the whole run and
+// all mutation goes through atomics or the once-only Child cell.
+unsafe impl Send for Job {}
+
+enum RunWork {
+    Empty,
+    /// Borrowed from the Taskflow graph; lifetime erased (see module docs).
+    Static(*const (dyn Fn() + Send + Sync)),
+    /// Borrowed from the Taskflow graph; lifetime erased.
+    Dynamic(*const (dyn Fn(&mut Subflow<'static>) + Send + Sync)),
+    /// A subflow child, created at runtime and executed exactly once.
+    Child(UnsafeCell<Option<Box<dyn FnOnce() + Send>>>),
+}
+
+struct RunNode {
+    name: Arc<str>,
+    work: RunWork,
+    succs: Vec<*const RunNode>,
+    join: AtomicUsize,
+    /// Remaining children before this (subflow) node completes.
+    children: AtomicUsize,
+    parent: *const RunNode,
+    ctx: *const RunCtx,
+}
+
+struct DoneGate {
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct RunCtx {
+    /// Keep-alive storage for the static run nodes.
+    _static_nodes: Vec<Box<RunNode>>,
+    /// Keep-alive storage for dynamically spawned children.
+    dynamic_nodes: Mutex<Vec<Box<RunNode>>>,
+    /// Tasks not yet completed (grows when subflows spawn children).
+    pending: AtomicUsize,
+    /// Set when a task panicked; remaining closures are skipped.
+    cancelled: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done: Arc<DoneGate>,
+}
+
+struct SleepCtl {
+    /// Bumped on every job publication; prevents lost wakeups.
+    epoch: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+struct Inner {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    sleep: SleepCtl,
+    shutdown: AtomicBool,
+    observer: RwLock<Option<Arc<dyn Observer>>>,
+    has_observer: AtomicBool,
+}
+
+/// A persistent work-stealing thread pool executing [`Taskflow`] graphs.
+pub struct Executor {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with `num_threads` workers (at least one).
+    pub fn new(num_threads: usize) -> Executor {
+        let num_threads = num_threads.max(1);
+        let deques: Vec<WorkerDeque<Job>> =
+            (0..num_threads).map(|_| WorkerDeque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let inner = Arc::new(Inner {
+            injector: Injector::new(),
+            stealers,
+            sleep: SleepCtl {
+                epoch: AtomicU64::new(0),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
+            shutdown: AtomicBool::new(false),
+            observer: RwLock::new(None),
+            has_observer: AtomicBool::new(false),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(idx, deque)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qtask-worker-{idx}"))
+                    .spawn(move || worker_loop(inner, deque, idx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Executor {
+            inner,
+            handles,
+            num_threads,
+        }
+    }
+
+    /// Creates an executor sized to the machine's available parallelism.
+    pub fn with_default_threads() -> Executor {
+        Executor::new(crate::default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Installs (or clears) an execution observer.
+    pub fn set_observer(&self, obs: Option<Arc<dyn Observer>>) {
+        self.inner
+            .has_observer
+            .store(obs.is_some(), Ordering::Release);
+        *self.inner.observer.write() = obs;
+    }
+
+    /// Executes `tf` to completion, blocking the caller.
+    ///
+    /// Re-raises the first panic that occurred in any task (remaining
+    /// tasks are skipped but the graph is drained deterministically).
+    ///
+    /// # Panics
+    /// Panics if the graph contains a dependency cycle.
+    pub fn run<'env>(&self, tf: &Taskflow<'env>) {
+        if tf.is_empty() {
+            return;
+        }
+        let n = tf.nodes.len();
+        // Build run nodes.
+        let mut nodes: Vec<Box<RunNode>> = Vec::with_capacity(n);
+        for node in &tf.nodes {
+            let work = match &node.work {
+                Work::Empty => RunWork::Empty,
+                Work::Static(f) => {
+                    let ptr: *const (dyn Fn() + Send + Sync) = &**f;
+                    // SAFETY: erases 'env; run() blocks until all tasks
+                    // finished, so the borrow outlives every dereference.
+                    RunWork::Static(unsafe {
+                        std::mem::transmute::<
+                            *const (dyn Fn() + Send + Sync),
+                            *const (dyn Fn() + Send + Sync),
+                        >(ptr)
+                    })
+                }
+                Work::Subflow(f) => {
+                    let ptr: *const (dyn Fn(&mut Subflow<'env>) + Send + Sync) = &**f;
+                    // SAFETY: same lifetime-erasure argument; Subflow<'x>
+                    // is layout-invariant in its lifetime parameter.
+                    RunWork::Dynamic(unsafe {
+                        std::mem::transmute::<
+                            *const (dyn Fn(&mut Subflow<'env>) + Send + Sync),
+                            *const (dyn Fn(&mut Subflow<'static>) + Send + Sync),
+                        >(ptr)
+                    })
+                }
+            };
+            nodes.push(Box::new(RunNode {
+                name: Arc::clone(&node.name),
+                work,
+                succs: Vec::with_capacity(node.succs.len()),
+                join: AtomicUsize::new(node.num_preds),
+                children: AtomicUsize::new(0),
+                parent: std::ptr::null(),
+                ctx: std::ptr::null(),
+            }));
+        }
+        let ptrs: Vec<*const RunNode> = nodes.iter().map(|b| &**b as *const RunNode).collect();
+        for (i, node) in tf.nodes.iter().enumerate() {
+            for &s in &node.succs {
+                nodes[i].succs.push(ptrs[s]);
+            }
+        }
+        let ctx = Box::new(RunCtx {
+            _static_nodes: nodes,
+            dynamic_nodes: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(n),
+            cancelled: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Arc::new(DoneGate {
+                lock: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+        });
+        let ctx_ptr: *const RunCtx = &*ctx;
+        for b in &ctx._static_nodes {
+            // SAFETY: exclusive setup phase; nothing is shared yet.
+            unsafe {
+                let node = &**b as *const RunNode as *mut RunNode;
+                (*node).ctx = ctx_ptr;
+            }
+        }
+        // Enqueue roots.
+        let mut any_root = false;
+        for (i, node) in tf.nodes.iter().enumerate() {
+            if node.num_preds == 0 {
+                any_root = true;
+                self.inner.injector.push(Job(ptrs[i]));
+            }
+        }
+        assert!(any_root, "task graph has no root: dependency cycle");
+        debug_assert!(tf.is_acyclic(), "task graph has a dependency cycle");
+        wake_workers(&self.inner);
+        // Wait for completion.
+        let done = Arc::clone(&ctx.done);
+        {
+            let mut flag = done.lock.lock();
+            while !*flag {
+                done.cv.wait(&mut flag);
+            }
+        }
+        let payload = ctx.panic.lock().take();
+        drop(ctx);
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.sleep.epoch.fetch_add(1, Ordering::SeqCst);
+        {
+            let _g = self.inner.sleep.lock.lock();
+            self.inner.sleep.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bumps the publication epoch and wakes sleeping workers.
+fn wake_workers(inner: &Inner) {
+    inner.sleep.epoch.fetch_add(1, Ordering::SeqCst);
+    if inner.sleep.sleepers.load(Ordering::SeqCst) > 0 {
+        let _g = inner.sleep.lock.lock();
+        inner.sleep.cv.notify_all();
+    }
+}
+
+fn find_work(inner: &Inner, local: &WorkerDeque<Job>, my_idx: usize) -> Option<Job> {
+    if let Some(j) = local.pop() {
+        return Some(j);
+    }
+    // Drain the injector (batched to amortize).
+    loop {
+        match inner.injector.steal_batch_and_pop(local) {
+            Steal::Success(j) => return Some(j),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    // Steal from siblings.
+    for (i, st) in inner.stealers.iter().enumerate() {
+        if i == my_idx {
+            continue;
+        }
+        loop {
+            match st.steal() {
+                Steal::Success(j) => return Some(j),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(inner: Arc<Inner>, local: WorkerDeque<Job>, idx: usize) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(job) = find_work(&inner, &local, idx) {
+            // SAFETY: job pointers stay valid until their run completes
+            // (module safety model).
+            unsafe { execute(job, &inner, &local, idx) };
+            continue;
+        }
+        // Slow path: re-scan once against the publication epoch, then park.
+        let observed = inner.sleep.epoch.load(Ordering::SeqCst);
+        if let Some(job) = find_work(&inner, &local, idx) {
+            unsafe { execute(job, &inner, &local, idx) };
+            continue;
+        }
+        let mut guard = inner.sleep.lock.lock();
+        inner.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
+        if inner.sleep.epoch.load(Ordering::SeqCst) == observed
+            && !inner.shutdown.load(Ordering::Acquire)
+        {
+            inner.sleep.cv.wait(&mut guard);
+        }
+        inner.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Publishes a job from worker context (local LIFO for cache locality).
+fn enqueue_local(inner: &Inner, local: &WorkerDeque<Job>, job: Job) {
+    local.push(job);
+    wake_workers(inner);
+}
+
+/// Runs one job. See the module safety model for pointer validity.
+unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize) {
+    let node = unsafe { &*job.0 };
+    let ctx = unsafe { &*node.ctx };
+    let observer = if inner.has_observer.load(Ordering::Acquire) {
+        inner.observer.read().clone()
+    } else {
+        None
+    };
+    if let Some(o) = &observer {
+        o.on_event(&ExecEvent::Begin {
+            name: Arc::clone(&node.name),
+            worker: widx,
+        });
+    }
+    let cancelled = ctx.cancelled.load(Ordering::Relaxed);
+    let mut deferred = false;
+    match &node.work {
+        RunWork::Empty => {}
+        RunWork::Static(f) => {
+            if !cancelled {
+                let f = unsafe { &**f };
+                if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                    record_panic(ctx, p);
+                }
+            }
+        }
+        RunWork::Dynamic(f) => {
+            if !cancelled {
+                let f = unsafe { &**f };
+                let mut sf = Subflow::new();
+                match catch_unwind(AssertUnwindSafe(|| f(&mut sf))) {
+                    Ok(()) => {
+                        if !sf.is_empty() {
+                            unsafe { spawn_children(ctx, node, sf, inner, local) };
+                            deferred = true;
+                        }
+                    }
+                    Err(p) => record_panic(ctx, p),
+                }
+            }
+        }
+        RunWork::Child(cell) => {
+            // SAFETY: each child job is popped by exactly one worker, so
+            // this cell is accessed exclusively.
+            let work = unsafe { (*cell.get()).take() };
+            if let Some(work) = work {
+                if !cancelled {
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
+                        record_panic(ctx, p);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(o) = &observer {
+        o.on_event(&ExecEvent::End {
+            name: Arc::clone(&node.name),
+            worker: widx,
+        });
+    }
+    if !deferred {
+        unsafe { finish(node, ctx, inner, local) };
+    }
+}
+
+fn record_panic(ctx: &RunCtx, payload: Box<dyn Any + Send + 'static>) {
+    ctx.cancelled.store(true, Ordering::Relaxed);
+    let mut slot = ctx.panic.lock();
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+}
+
+/// Materializes subflow children and schedules their roots. The parent's
+/// completion is deferred to the last child (`finish` on the parent).
+unsafe fn spawn_children(
+    ctx: &RunCtx,
+    parent: &RunNode,
+    mut sf: Subflow<'static>,
+    inner: &Inner,
+    local: &WorkerDeque<Job>,
+) {
+    let n = sf.tasks.len();
+    let succ_lists: Vec<Vec<usize>> = sf.tasks.iter().map(|t| t.succs.clone()).collect();
+    ctx.pending.fetch_add(n, Ordering::SeqCst);
+    parent.children.store(n, Ordering::Release);
+    let mut boxes: Vec<Box<RunNode>> = Vec::with_capacity(n);
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, t) in sf.tasks.iter_mut().enumerate() {
+        if t.num_preds == 0 {
+            roots.push(i);
+        }
+        boxes.push(Box::new(RunNode {
+            name: Arc::clone(&t.name),
+            work: RunWork::Child(UnsafeCell::new(t.work.take())),
+            succs: Vec::with_capacity(succ_lists[i].len()),
+            join: AtomicUsize::new(t.num_preds),
+            children: AtomicUsize::new(0),
+            parent: parent as *const RunNode,
+            ctx: ctx as *const RunCtx,
+        }));
+    }
+    assert!(
+        !roots.is_empty(),
+        "subflow '{}' has no root: dependency cycle",
+        parent.name
+    );
+    let ptrs: Vec<*const RunNode> = boxes.iter().map(|b| &**b as *const RunNode).collect();
+    for (i, succs) in succ_lists.iter().enumerate() {
+        for &s in succs {
+            boxes[i].succs.push(ptrs[s]);
+        }
+    }
+    // Keep children alive for the rest of the run *before* publishing jobs.
+    ctx.dynamic_nodes.lock().extend(boxes);
+    for r in roots {
+        enqueue_local(inner, local, Job(ptrs[r]));
+    }
+}
+
+/// Completes a node: fires successors, joins its parent subflow, and
+/// performs the final pending decrement (the last context access).
+unsafe fn finish(node: &RunNode, ctx: &RunCtx, inner: &Inner, local: &WorkerDeque<Job>) {
+    for &s in &node.succs {
+        let succ = unsafe { &*s };
+        if succ.join.fetch_sub(1, Ordering::AcqRel) == 1 {
+            enqueue_local(inner, local, Job(s));
+        }
+    }
+    if !node.parent.is_null() {
+        let parent = unsafe { &*node.parent };
+        if parent.children.fetch_sub(1, Ordering::AcqRel) == 1 {
+            unsafe { finish(parent, ctx, inner, local) };
+        }
+    }
+    // Clone the gate *before* the final decrement so the signal never
+    // touches freed context memory.
+    let done = Arc::clone(&ctx.done);
+    if ctx.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut flag = done.lock.lock();
+        *flag = true;
+        done.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Taskflow;
+    use std::sync::atomic::{AtomicUsize, Ordering as O};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn runs_all_tasks_once() {
+        let ex = Executor::new(4);
+        let count = AtomicUsize::new(0);
+        let mut tf = Taskflow::new("t");
+        for i in 0..100 {
+            tf.emplace(format!("t{i}"), || {
+                count.fetch_add(1, O::SeqCst);
+            });
+        }
+        ex.run(&tf);
+        assert_eq!(count.load(O::SeqCst), 100);
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let ex = Executor::new(8);
+        let log = StdMutex::new(Vec::new());
+        let mut tf = Taskflow::new("t");
+        let a = tf.emplace("a", || log.lock().unwrap().push('a'));
+        let b = tf.emplace("b", || log.lock().unwrap().push('b'));
+        let c = tf.emplace("c", || log.lock().unwrap().push('c'));
+        let d = tf.emplace("d", || log.lock().unwrap().push('d'));
+        tf.precede(a, b);
+        tf.precede(a, c);
+        tf.precede(b, d);
+        tf.precede(c, d);
+        ex.run(&tf);
+        drop(tf);
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[0], 'a');
+        assert_eq!(log[3], 'd');
+    }
+
+    #[test]
+    fn diamond_chain_order_stress() {
+        // A long chain of diamonds; every stage must observe the previous
+        // stage's writes (tests join-counter + memory-ordering correctness).
+        let ex = Executor::new(8);
+        let stages = 200;
+        let cells: Vec<AtomicUsize> = (0..stages).map(|_| AtomicUsize::new(0)).collect();
+        let mut tf = Taskflow::new("chain");
+        let mut prev: Option<crate::graph::TaskRef> = None;
+        for (i, cell) in cells.iter().enumerate() {
+            let cells_ref = &cells;
+            let left = tf.emplace(format!("l{i}"), move || {
+                if i > 0 {
+                    assert_eq!(cells_ref[i - 1].load(O::SeqCst), 2);
+                }
+                cell.fetch_add(1, O::SeqCst);
+            });
+            let right = tf.emplace(format!("r{i}"), move || {
+                if i > 0 {
+                    assert_eq!(cells_ref[i - 1].load(O::SeqCst), 2);
+                }
+                cell.fetch_add(1, O::SeqCst);
+            });
+            let join = tf.emplace_empty(format!("j{i}"));
+            if let Some(p) = prev {
+                tf.precede(p, left);
+                tf.precede(p, right);
+            }
+            tf.precede(left, join);
+            tf.precede(right, join);
+            prev = Some(join);
+        }
+        ex.run(&tf);
+        assert!(cells.iter().all(|c| c.load(O::SeqCst) == 2));
+    }
+
+    #[test]
+    fn subflow_children_run_and_join() {
+        let ex = Executor::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        let after = Arc::new(AtomicUsize::new(0));
+        let mut tf = Taskflow::new("t");
+        let c1 = Arc::clone(&count);
+        let sub = tf.emplace_subflow("fan", move |sf| {
+            for _ in 0..16 {
+                let c = Arc::clone(&c1);
+                sf.task("child", move || {
+                    c.fetch_add(1, O::SeqCst);
+                });
+            }
+        });
+        let c2 = Arc::clone(&count);
+        let a2 = Arc::clone(&after);
+        let post = tf.emplace("post", move || {
+            // Joined subflow: all 16 children must be done.
+            assert_eq!(c2.load(O::SeqCst), 16);
+            a2.fetch_add(1, O::SeqCst);
+        });
+        tf.precede(sub, post);
+        ex.run(&tf);
+        assert_eq!(count.load(O::SeqCst), 16);
+        assert_eq!(after.load(O::SeqCst), 1);
+    }
+
+    #[test]
+    fn subflow_internal_edges() {
+        let ex = Executor::new(4);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let mut tf = Taskflow::new("t");
+        let l = Arc::clone(&log);
+        tf.emplace_subflow("sub", move |sf| {
+            let l1 = Arc::clone(&l);
+            let l2 = Arc::clone(&l);
+            let l3 = Arc::clone(&l);
+            let a = sf.task("a", move || l1.lock().unwrap().push(1));
+            let b = sf.task("b", move || l2.lock().unwrap().push(2));
+            let c = sf.task("c", move || l3.lock().unwrap().push(3));
+            sf.precede(a, b);
+            sf.precede(b, c);
+        });
+        ex.run(&tf);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_subflows() {
+        let ex = Executor::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut tf = Taskflow::new("t");
+        let c0 = Arc::clone(&count);
+        tf.emplace_subflow("outer", move |sf| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c0);
+                sf.task("leaf", move || {
+                    c.fetch_add(1, O::SeqCst);
+                });
+            }
+        });
+        let c1 = Arc::clone(&count);
+        let check = tf.emplace("check", move || {
+            assert_eq!(c1.load(O::SeqCst), 4);
+        });
+        // The subflow node is index 0.
+        tf.precede(crate::graph::TaskRef(0), check);
+        ex.run(&tf);
+    }
+
+    #[test]
+    fn empty_subflow_completes() {
+        let ex = Executor::new(2);
+        let done = AtomicUsize::new(0);
+        let mut tf = Taskflow::new("t");
+        let s = tf.emplace_subflow("empty", |_| {});
+        let p = tf.emplace("post", || {
+            done.fetch_add(1, O::SeqCst);
+        });
+        tf.precede(s, p);
+        ex.run(&tf);
+        assert_eq!(done.load(O::SeqCst), 1);
+    }
+
+    #[test]
+    fn borrows_environment() {
+        // Closures borrow a local vector mutably disjointly via atomics.
+        let ex = Executor::new(4);
+        let data: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let mut tf = Taskflow::new("t");
+        for (i, cell) in data.iter().enumerate() {
+            tf.emplace(format!("w{i}"), move || {
+                cell.store(i + 1, O::SeqCst);
+            });
+        }
+        ex.run(&tf);
+        for (i, cell) in data.iter().enumerate() {
+            assert_eq!(cell.load(O::SeqCst), i + 1);
+        }
+    }
+
+    #[test]
+    fn rerunnable_graph() {
+        let ex = Executor::new(4);
+        let count = AtomicUsize::new(0);
+        let mut tf = Taskflow::new("t");
+        let a = tf.emplace("a", || {
+            count.fetch_add(1, O::SeqCst);
+        });
+        let b = tf.emplace("b", || {
+            count.fetch_add(10, O::SeqCst);
+        });
+        tf.precede(a, b);
+        for _ in 0..5 {
+            ex.run(&tf);
+        }
+        assert_eq!(count.load(O::SeqCst), 55);
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let ex = Executor::new(2);
+        let tf = Taskflow::new("empty");
+        ex.run(&tf); // must not hang
+    }
+
+    #[test]
+    fn single_thread_executor_works() {
+        let ex = Executor::new(1);
+        let count = AtomicUsize::new(0);
+        let mut tf = Taskflow::new("t");
+        let s = tf.emplace_subflow("fan", |sf| {
+            sf.parallel_for(0..100, 7, |_| {});
+        });
+        let c = tf.emplace("count", || {
+            count.fetch_add(1, O::SeqCst);
+        });
+        tf.precede(s, c);
+        ex.run(&tf);
+        assert_eq!(count.load(O::SeqCst), 1);
+    }
+
+    #[test]
+    fn panic_propagates_and_executor_survives() {
+        let ex = Executor::new(4);
+        let mut tf = Taskflow::new("t");
+        tf.emplace("boom", || panic!("task exploded"));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| ex.run(&tf)));
+        assert!(result.is_err());
+        // Executor still usable afterwards.
+        let ok = AtomicUsize::new(0);
+        let mut tf2 = Taskflow::new("t2");
+        tf2.emplace("fine", || {
+            ok.fetch_add(1, O::SeqCst);
+        });
+        ex.run(&tf2);
+        assert_eq!(ok.load(O::SeqCst), 1);
+    }
+
+    #[test]
+    fn panic_cancels_downstream() {
+        let ex = Executor::new(2);
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let mut tf = Taskflow::new("t");
+        let a = tf.emplace("boom", || panic!("x"));
+        let r = Arc::clone(&ran_after);
+        let b = tf.emplace("after", move || {
+            r.fetch_add(1, O::SeqCst);
+        });
+        tf.precede(a, b);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| ex.run(&tf)));
+        assert_eq!(ran_after.load(O::SeqCst), 0);
+    }
+
+    #[test]
+    fn observer_sees_events() {
+        let ex = Executor::new(2);
+        let begins = Arc::new(AtomicUsize::new(0));
+        let ends = Arc::new(AtomicUsize::new(0));
+        let (b, e) = (Arc::clone(&begins), Arc::clone(&ends));
+        ex.set_observer(Some(Arc::new(move |ev: &ExecEvent| match ev {
+            ExecEvent::Begin { .. } => {
+                b.fetch_add(1, O::SeqCst);
+            }
+            ExecEvent::End { .. } => {
+                e.fetch_add(1, O::SeqCst);
+            }
+        })));
+        let mut tf = Taskflow::new("t");
+        for i in 0..10 {
+            tf.emplace(format!("t{i}"), || {});
+        }
+        ex.run(&tf);
+        ex.set_observer(None);
+        assert_eq!(begins.load(O::SeqCst), 10);
+        assert_eq!(ends.load(O::SeqCst), 10);
+    }
+
+    #[test]
+    fn many_tasks_stress() {
+        let ex = Executor::new(8);
+        let count = AtomicUsize::new(0);
+        let mut tf = Taskflow::new("stress");
+        let layers = 50;
+        let width = 40;
+        let mut prev_layer: Vec<crate::graph::TaskRef> = Vec::new();
+        for l in 0..layers {
+            let mut layer = Vec::new();
+            for w in 0..width {
+                let t = tf.emplace(format!("t{l}_{w}"), || {
+                    count.fetch_add(1, O::SeqCst);
+                });
+                // Sparse cross-layer edges.
+                if let Some(&p) = prev_layer.get(w % prev_layer.len().max(1)) {
+                    tf.precede(p, t);
+                }
+                layer.push(t);
+            }
+            prev_layer = layer;
+        }
+        ex.run(&tf);
+        assert_eq!(count.load(O::SeqCst), layers * width);
+    }
+
+    #[test]
+    fn concurrent_runs_from_two_threads() {
+        let ex = Arc::new(Executor::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let ex = Arc::clone(&ex);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    let mut tf = Taskflow::new("t");
+                    for i in 0..50 {
+                        let total = Arc::clone(&total);
+                        tf.emplace(format!("t{i}"), move || {
+                            total.fetch_add(1, O::SeqCst);
+                        });
+                    }
+                    ex.run(&tf);
+                });
+            }
+        });
+        assert_eq!(total.load(O::SeqCst), 100);
+    }
+
+    #[test]
+    fn parallel_for_covers_range() {
+        let ex = Executor::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let hits_ref = &hits;
+        let mut tf = Taskflow::new("pf");
+        tf.emplace_subflow("fan", move |sf| {
+            sf.parallel_for(0..1000, 64, move |i| {
+                hits_ref[i].fetch_add(1, O::SeqCst);
+            });
+        });
+        ex.run(&tf);
+        assert!(hits.iter().all(|h| h.load(O::SeqCst) == 1));
+    }
+}

@@ -1,0 +1,50 @@
+//! A work-stealing task-graph executor with static tasks and dynamic
+//! subflows — the from-scratch substitute for the Taskflow C++ library the
+//! paper builds on (reference [31]).
+//!
+//! qTask uses exactly two Taskflow features (paper §III-F):
+//!
+//! 1. **Static tasking** — a DAG of named tasks with precedence edges,
+//!    used for inter-gate operation parallelism between partitions.
+//! 2. **Dynamic tasking (subflow)** — a task that spawns child tasks at
+//!    runtime; the parent's successors wait for all children (a *joined*
+//!    subflow). Used for intra-gate operation parallelism inside a
+//!    partition.
+//!
+//! Both are provided here, executed by a persistent pool of workers with
+//! crossbeam-deque work stealing and condition-variable parking — the
+//! "work-stealing runtime" of the paper's reference [47].
+//!
+//! # Example
+//! ```
+//! use qtask_taskflow::{Executor, Taskflow};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let executor = Executor::new(4);
+//! let counter = AtomicUsize::new(0);
+//! let mut tf = Taskflow::new("demo");
+//! let a = tf.emplace("a", || { counter.fetch_add(1, Ordering::SeqCst); });
+//! let b = tf.emplace_subflow("fan", |sf| {
+//!     for i in 0..8 {
+//!         sf.task(format!("child{i}"), || { counter.fetch_add(1, Ordering::SeqCst); });
+//!     }
+//! });
+//! tf.precede(a, b);
+//! executor.run(&tf);
+//! assert_eq!(counter.load(Ordering::SeqCst), 9);
+//! ```
+
+pub mod executor;
+pub mod graph;
+pub mod observer;
+
+pub use executor::Executor;
+pub use graph::{Subflow, SubTaskRef, TaskRef, Taskflow};
+pub use observer::{ExecEvent, Observer};
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,35 @@
+//! Execution observers: hooks for tests and diagnostics.
+
+use std::sync::Arc;
+
+/// An execution event reported to an [`Observer`].
+#[derive(Clone, Debug)]
+pub enum ExecEvent {
+    /// A task is about to run on the given worker.
+    Begin {
+        /// Task name.
+        name: Arc<str>,
+        /// Worker index executing the task.
+        worker: usize,
+    },
+    /// A task finished on the given worker.
+    End {
+        /// Task name.
+        name: Arc<str>,
+        /// Worker index that executed the task.
+        worker: usize,
+    },
+}
+
+/// Receives execution events. Implementations must be cheap and
+/// thread-safe; the executor invokes them inline on worker threads.
+pub trait Observer: Send + Sync {
+    /// Called for every task begin/end.
+    fn on_event(&self, event: &ExecEvent);
+}
+
+impl<F: Fn(&ExecEvent) + Send + Sync> Observer for F {
+    fn on_event(&self, event: &ExecEvent) {
+        self(event)
+    }
+}

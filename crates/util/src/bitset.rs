@@ -1,0 +1,179 @@
+//! A growable bitset.
+//!
+//! Used for visited/dirty marks in frontier DFS and for block-coverage
+//! accounting in the dependency scans, where the universe (number of
+//! blocks or partitions) is known but changes as the circuit is modified.
+
+/// A dynamically sized bitset over `usize` indices.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Creates a bitset able to hold `n` bits without reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            words: Vec::with_capacity(n.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`; returns true if the bit was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears bit `i`; returns true if the bit was set.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if bit `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Sets bits `[start, end)`.
+    pub fn insert_range(&mut self, range: std::ops::Range<usize>) {
+        for i in range {
+            self.insert(i);
+        }
+    }
+
+    /// Clears all bits, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(4));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.remove(1000));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: BitSet = [5usize, 1, 64, 63, 200].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 63, 64, 200]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::new();
+        s.insert_range(0..300);
+        assert_eq!(s.count(), 300);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(10));
+    }
+
+    #[test]
+    fn model_check() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = BitSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            let i = rng.random_range(0..512usize);
+            if rng.random_bool(0.5) {
+                assert_eq!(s.insert(i), model.insert(i));
+            } else {
+                assert_eq!(s.remove(i), model.remove(&i));
+            }
+        }
+        assert_eq!(s.count(), model.len());
+        assert_eq!(s.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+    }
+}

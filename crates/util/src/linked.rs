@@ -1,0 +1,358 @@
+//! An ordered arena: a doubly-linked list threaded through [`Arena`] slots.
+//!
+//! qTask maintains two totally ordered sequences that are modified in the
+//! middle all the time: the list of nets, and the global list of gate rows.
+//! Dependency scans walk these orders backward and forward from an
+//! arbitrary element. `LinkedArena` gives stable keys, O(1)
+//! insert-before/after/front/back, O(1) remove, and O(1) neighbour lookup.
+
+use crate::arena::{Arena, Key};
+
+#[derive(Clone)]
+struct Node<T> {
+    value: T,
+    prev: Option<Key>,
+    next: Option<Key>,
+}
+
+/// A doubly-linked list with stable generational keys.
+#[derive(Clone)]
+pub struct LinkedArena<T> {
+    nodes: Arena<Node<T>>,
+    head: Option<Key>,
+    tail: Option<Key>,
+}
+
+impl<T> Default for LinkedArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LinkedArena<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LinkedArena {
+            nodes: Arena::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the list has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// First element's key, if any.
+    #[inline]
+    pub fn head(&self) -> Option<Key> {
+        self.head
+    }
+
+    /// Last element's key, if any.
+    #[inline]
+    pub fn tail(&self) -> Option<Key> {
+        self.tail
+    }
+
+    /// Key of the element after `key`, if any.
+    #[inline]
+    pub fn next(&self, key: Key) -> Option<Key> {
+        self.nodes.get(key).and_then(|n| n.next)
+    }
+
+    /// Key of the element before `key`, if any.
+    #[inline]
+    pub fn prev(&self, key: Key) -> Option<Key> {
+        self.nodes.get(key).and_then(|n| n.prev)
+    }
+
+    /// Returns the element behind `key`, if live.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<&T> {
+        self.nodes.get(key).map(|n| &n.value)
+    }
+
+    /// Returns the element behind `key` mutably, if live.
+    #[inline]
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        self.nodes.get_mut(key).map(|n| &mut n.value)
+    }
+
+    /// True if `key` is live in this list.
+    #[inline]
+    pub fn contains(&self, key: Key) -> bool {
+        self.nodes.contains(key)
+    }
+
+    /// Inserts at the front, returning the new key.
+    pub fn push_front(&mut self, value: T) -> Key {
+        let key = self.nodes.insert(Node {
+            value,
+            prev: None,
+            next: self.head,
+        });
+        match self.head {
+            Some(old) => self.nodes[old].prev = Some(key),
+            None => self.tail = Some(key),
+        }
+        self.head = Some(key);
+        key
+    }
+
+    /// Inserts at the back, returning the new key.
+    pub fn push_back(&mut self, value: T) -> Key {
+        let key = self.nodes.insert(Node {
+            value,
+            prev: self.tail,
+            next: None,
+        });
+        match self.tail {
+            Some(old) => self.nodes[old].next = Some(key),
+            None => self.head = Some(key),
+        }
+        self.tail = Some(key);
+        key
+    }
+
+    /// Inserts `value` immediately after `after`.
+    ///
+    /// # Panics
+    /// Panics if `after` is stale.
+    pub fn insert_after(&mut self, after: Key, value: T) -> Key {
+        assert!(self.nodes.contains(after), "insert_after on stale key");
+        let next = self.nodes[after].next;
+        let key = self.nodes.insert(Node {
+            value,
+            prev: Some(after),
+            next,
+        });
+        self.nodes[after].next = Some(key);
+        match next {
+            Some(n) => self.nodes[n].prev = Some(key),
+            None => self.tail = Some(key),
+        }
+        key
+    }
+
+    /// Inserts `value` immediately before `before`.
+    ///
+    /// # Panics
+    /// Panics if `before` is stale.
+    pub fn insert_before(&mut self, before: Key, value: T) -> Key {
+        assert!(self.nodes.contains(before), "insert_before on stale key");
+        let prev = self.nodes[before].prev;
+        match prev {
+            Some(p) => self.insert_after(p, value),
+            None => self.push_front(value),
+        }
+    }
+
+    /// Removes the element behind `key`, returning it if the key was live.
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        let node = self.nodes.remove(key)?;
+        match node.prev {
+            Some(p) => self.nodes[p].next = node.next,
+            None => self.head = node.next,
+        }
+        match node.next {
+            Some(n) => self.nodes[n].prev = node.prev,
+            None => self.tail = node.prev,
+        }
+        Some(node.value)
+    }
+
+    /// Iterates keys front-to-back.
+    pub fn keys(&self) -> KeyIter<'_, T> {
+        KeyIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    /// Iterates keys back-to-front.
+    pub fn keys_rev(&self) -> impl Iterator<Item = Key> + '_ {
+        std::iter::successors(self.tail, move |&k| self.prev(k))
+    }
+
+    /// Iterates `(key, &value)` front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &T)> {
+        self.keys().map(move |k| (k, &self.nodes[k].value))
+    }
+
+    /// Position of `key` counted from the front (O(n); for tests/diagnostics).
+    pub fn position(&self, key: Key) -> Option<usize> {
+        self.keys().position(|k| k == key)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.head = None;
+        self.tail = None;
+    }
+}
+
+impl<T> std::ops::Index<Key> for LinkedArena<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, key: Key) -> &T {
+        self.get(key).expect("stale linked-arena key")
+    }
+}
+
+impl<T> std::ops::IndexMut<Key> for LinkedArena<T> {
+    #[inline]
+    fn index_mut(&mut self, key: Key) -> &mut T {
+        self.get_mut(key).expect("stale linked-arena key")
+    }
+}
+
+/// Front-to-back key iterator for [`LinkedArena`].
+pub struct KeyIter<'a, T> {
+    list: &'a LinkedArena<T>,
+    cur: Option<Key>,
+}
+
+impl<T> Iterator for KeyIter<'_, T> {
+    type Item = Key;
+    fn next(&mut self) -> Option<Key> {
+        let k = self.cur?;
+        self.cur = self.list.next(k);
+        Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(l: &LinkedArena<i32>) -> Vec<i32> {
+        l.iter().map(|(_, v)| *v).collect()
+    }
+
+    #[test]
+    fn push_front_back() {
+        let mut l = LinkedArena::new();
+        l.push_back(2);
+        l.push_front(1);
+        l.push_back(3);
+        assert_eq!(to_vec(&l), vec![1, 2, 3]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn insert_after_before() {
+        let mut l = LinkedArena::new();
+        let a = l.push_back(1);
+        let c = l.push_back(3);
+        let b = l.insert_after(a, 2);
+        l.insert_before(a, 0);
+        l.insert_after(c, 4);
+        assert_eq!(to_vec(&l), vec![0, 1, 2, 3, 4]);
+        assert_eq!(l.prev(b), Some(a));
+        assert_eq!(l.next(b), Some(c));
+    }
+
+    #[test]
+    fn remove_relinks() {
+        let mut l = LinkedArena::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        let c = l.push_back(3);
+        assert_eq!(l.remove(b), Some(2));
+        assert_eq!(l.next(a), Some(c));
+        assert_eq!(l.prev(c), Some(a));
+        assert_eq!(to_vec(&l), vec![1, 3]);
+        assert_eq!(l.remove(b), None);
+        l.remove(a);
+        l.remove(c);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), None);
+        assert_eq!(l.tail(), None);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LinkedArena::new();
+        let a = l.push_back(1);
+        let b = l.push_back(2);
+        let c = l.push_back(3);
+        l.remove(a);
+        assert_eq!(l.head(), Some(b));
+        l.remove(c);
+        assert_eq!(l.tail(), Some(b));
+        assert_eq!(to_vec(&l), vec![2]);
+    }
+
+    #[test]
+    fn reverse_iteration() {
+        let mut l = LinkedArena::new();
+        for i in 0..5 {
+            l.push_back(i);
+        }
+        let rev: Vec<i32> = l.keys_rev().map(|k| l[k]).collect();
+        assert_eq!(rev, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn position_reports_order() {
+        let mut l = LinkedArena::new();
+        let a = l.push_back(10);
+        let b = l.push_front(20);
+        assert_eq!(l.position(b), Some(0));
+        assert_eq!(l.position(a), Some(1));
+    }
+
+    #[test]
+    fn model_check_against_vec() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut l = LinkedArena::new();
+        let mut model: Vec<(Key, u32)> = Vec::new();
+        for step in 0..5_000u32 {
+            match rng.random_range(0..5) {
+                0 => {
+                    let k = l.push_front(step);
+                    model.insert(0, (k, step));
+                }
+                1 => {
+                    let k = l.push_back(step);
+                    model.push((k, step));
+                }
+                2 if !model.is_empty() => {
+                    let i = rng.random_range(0..model.len());
+                    let k = l.insert_after(model[i].0, step);
+                    model.insert(i + 1, (k, step));
+                }
+                3 if !model.is_empty() => {
+                    let i = rng.random_range(0..model.len());
+                    let k = l.insert_before(model[i].0, step);
+                    model.insert(i, (k, step));
+                }
+                4 if !model.is_empty() => {
+                    let i = rng.random_range(0..model.len());
+                    let (k, v) = model.remove(i);
+                    assert_eq!(l.remove(k), Some(v));
+                }
+                _ => {}
+            }
+            assert_eq!(l.len(), model.len());
+        }
+        let got: Vec<u32> = l.iter().map(|(_, v)| *v).collect();
+        let want: Vec<u32> = model.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, want);
+        let got_rev: Vec<u32> = l.keys_rev().map(|k| l[k]).collect();
+        let mut want_rev = want.clone();
+        want_rev.reverse();
+        assert_eq!(got_rev, want_rev);
+    }
+}

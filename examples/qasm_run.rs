@@ -1,0 +1,76 @@
+//! Load an OpenQASM 2.0 file (or a named generator) and simulate it,
+//! printing the most probable outcomes and a cross-check against the
+//! Qulacs-like baseline.
+//!
+//! Run with:
+//!   `cargo run --release --example qasm_run -- path/to/file.qasm`
+//!   `cargo run --release --example qasm_run -- qft 10`
+
+use qtask::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let source = args.get(1).map(String::as_str).unwrap_or("bv");
+    let circuit = if source.ends_with(".qasm") {
+        let text = std::fs::read_to_string(source).unwrap_or_else(|e| {
+            eprintln!("cannot read {source}: {e}");
+            std::process::exit(1);
+        });
+        qtask::qasm::parse_to_circuit(&text).unwrap_or_else(|e| {
+            eprintln!("parse error in {source}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let qubits: Option<u8> = args.get(2).and_then(|s| s.parse().ok());
+        qtask::bench_circuits::build(source, qubits).unwrap_or_else(|| {
+            eprintln!("unknown circuit '{source}'");
+            std::process::exit(1);
+        })
+    };
+    println!("loaded: {}", CircuitStats::of(&circuit));
+
+    // Simulate with qTask.
+    let t0 = std::time::Instant::now();
+    let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
+    let report = ckt.update_state();
+    println!(
+        "qTask: {:?} ({} partitions, {} tasks)",
+        t0.elapsed(),
+        report.partitions_executed,
+        report.tasks_executed
+    );
+
+    // Cross-check against the Qulacs-like baseline.
+    let t0 = std::time::Instant::now();
+    let mut baseline = QulacsLike::new(circuit.num_qubits(), qtask::taskflow::default_threads());
+    for (_, net) in circuit.nets() {
+        let dst = baseline.push_net();
+        for gid in net.gates() {
+            let g = circuit.gate(*gid).unwrap();
+            baseline.insert_gate(g.kind(), dst, g.qubits()).unwrap();
+        }
+    }
+    baseline.update_state();
+    println!("qulacs-like: {:?}", t0.elapsed());
+    let diff = qtask::num::vecops::max_abs_diff(&ckt.state(), &baseline.state_vec());
+    println!("max amplitude difference: {diff:.2e}");
+
+    println!("top outcomes:");
+    let state = ckt.state();
+    for (idx, p) in qtask::num::vecops::top_k(&state, 8) {
+        if p < 1e-9 {
+            break;
+        }
+        println!(
+            "  |{idx:0w$b}>  p = {p:.6}",
+            w = circuit.num_qubits() as usize
+        );
+    }
+    // Round-trip through the QASM writer as a persistence demo.
+    let qasm = qtask::qasm::circuit_to_qasm(&circuit);
+    println!(
+        "(write-back: {} bytes of OpenQASM; first line: {})",
+        qasm.len(),
+        qasm.lines().next().unwrap_or_default()
+    );
+}

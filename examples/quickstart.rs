@@ -1,0 +1,67 @@
+//! Quickstart: the paper's Listing 1 / Figure 2 walk-through.
+//!
+//! Builds the five-qubit example circuit, dumps the partition task graph
+//! (the paper's `dump_graph`), runs a full simulation, then applies the
+//! Figure 7/8 modifiers (remove G8, insert G10) and re-simulates
+//! incrementally.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qtask::prelude::*;
+
+fn main() {
+    // qTask ckt(5); — with the paper's Figure 4 block size so the
+    // partition structure matches the figures.
+    let mut ckt = Ckt::with_config(5, SimConfig::with_block_size(4));
+    let (q4, q3, q2, q1, q0) = (4u8, 3, 2, 1, 0);
+
+    // Create five nets and nine gates (Listing 1).
+    let net1 = ckt.insert_net_front();
+    let net2 = ckt.insert_net_after(net1).unwrap();
+    let net3 = ckt.insert_net_after(net2).unwrap();
+    let net4 = ckt.insert_net_after(net3).unwrap();
+    let net5 = ckt.insert_net_after(net4).unwrap();
+    for q in [q4, q3, q2, q1, q0] {
+        ckt.insert_gate(GateKind::H, net1, &[q]).unwrap();
+    }
+    let _g6 = ckt.insert_gate(GateKind::Cx, net2, &[q4, q3]).unwrap();
+    let _g7 = ckt.insert_gate(GateKind::Cx, net3, &[q4, q1]).unwrap();
+    let g8 = ckt.insert_gate(GateKind::Cx, net4, &[q3, q2]).unwrap();
+    let _g9 = ckt.insert_gate(GateKind::Cx, net5, &[q2, q0]).unwrap();
+
+    // ckt.dump_graph(std::cout); — the Figure 4 partition diagram in DOT.
+    println!("=== partition task graph (DOT) ===");
+    println!("{}", ckt.dump_graph_string());
+
+    // ckt.update_state(); — full simulation.
+    let report = ckt.update_state();
+    println!(
+        "full update: {} partitions, {} tasks, {:?}",
+        report.partitions_executed, report.tasks_executed, report.elapsed
+    );
+    println!("P(|00000>) = {:.6}", ckt.probability(0));
+
+    // Modify the circuit: remove G8, insert G10 (Figures 7 and 8).
+    ckt.remove_gate(g8).unwrap();
+    let _g10 = ckt.insert_gate(GateKind::Cx, net4, &[q2, q1]).unwrap();
+
+    // ckt.update_state(); — incremental update.
+    let report = ckt.update_state();
+    println!(
+        "incremental update: {} partitions, {} tasks, {:?}",
+        report.partitions_executed, report.tasks_executed, report.elapsed
+    );
+
+    // Show the top measurement outcomes.
+    let state = ckt.state();
+    println!("=== top outcomes ===");
+    for (idx, p) in qtask::num::vecops::top_k(&state, 4) {
+        println!("|{idx:05b}>  p = {p:.6}");
+    }
+    println!("norm = {:.9}", ckt.norm_sqr());
+    let mem = ckt.memory_stats();
+    println!(
+        "memory: {} rows, {} partitions, {} owned blocks ({} bytes)",
+        mem.rows, mem.partitions, mem.owned_blocks, mem.owned_bytes
+    );
+}

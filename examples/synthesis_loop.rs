@@ -1,0 +1,116 @@
+//! Simulation-driven circuit synthesis — the paper's motivating
+//! application (Figure 1, §II-C).
+//!
+//! A hill-climbing synthesizer tunes the rotation angles of an ansatz to
+//! maximize the probability of a target basis state. Every candidate move
+//! swaps one rotation gate for a re-tuned copy and re-simulates
+//! *incrementally* — thousands of simulation calls, each touching only
+//! the partitions downstream of the modified gate.
+//!
+//! Run with: `cargo run --release --example synthesis_loop`
+
+use qtask::prelude::*;
+use rand::prelude::*;
+use std::time::Instant;
+
+const QUBITS: u8 = 8;
+const TARGET: usize = 0b1011_0101;
+const ITERATIONS: usize = 400;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut ckt = Ckt::with_config(QUBITS, SimConfig::with_block_size(32));
+
+    // Ansatz: RY rotations, a CNOT ladder, RY rotations.
+    let mut angles: Vec<f64> = (0..2 * QUBITS as usize)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    let net_front = ckt.insert_net_front();
+    let net_mid = ckt.insert_net_after(net_front).unwrap();
+    // CNOT ladder occupies several nets.
+    let mut ladder_nets = vec![net_mid];
+    for _ in 0..QUBITS - 1 {
+        ladder_nets.push(ckt.insert_net_after(*ladder_nets.last().unwrap()).unwrap());
+    }
+    let net_back = ckt
+        .insert_net_after(*ladder_nets.last().unwrap())
+        .unwrap();
+
+    let mut front_gates = Vec::new();
+    let mut back_gates = Vec::new();
+    for q in 0..QUBITS {
+        front_gates.push(
+            ckt.insert_gate(GateKind::Ry(angles[q as usize]), net_front, &[q])
+                .unwrap(),
+        );
+    }
+    for q in 0..QUBITS - 1 {
+        ckt.insert_gate(GateKind::Cx, ladder_nets[1 + q as usize], &[q, q + 1])
+            .unwrap();
+    }
+    for q in 0..QUBITS {
+        back_gates.push(
+            ckt.insert_gate(
+                GateKind::Ry(angles[QUBITS as usize + q as usize]),
+                net_back,
+                &[q],
+            )
+            .unwrap(),
+        );
+    }
+
+    ckt.update_state();
+    let mut best = ckt.probability(TARGET);
+    println!("initial P(target) = {best:.6}");
+
+    let t0 = Instant::now();
+    let mut accepted = 0usize;
+    let mut partitions_total = 0usize;
+    for iter in 0..ITERATIONS {
+        // Propose: re-tune one angle.
+        let slot = rng.random_range(0..angles.len());
+        let delta = rng.random_range(-0.4..0.4);
+        let new_angle = angles[slot] + delta;
+        let (net, gates, q) = if slot < QUBITS as usize {
+            (net_front, &mut front_gates, slot as u8)
+        } else {
+            (net_back, &mut back_gates, (slot - QUBITS as usize) as u8)
+        };
+        let idx = q as usize;
+        // Apply the modifier pair: remove old rotation, insert new one.
+        ckt.remove_gate(gates[idx]).unwrap();
+        let new_gate = ckt
+            .insert_gate(GateKind::Ry(new_angle), net, &[q])
+            .unwrap();
+        let report = ckt.update_state(); // incremental!
+        partitions_total += report.partitions_executed;
+        let p = ckt.probability(TARGET);
+        if p > best {
+            best = p;
+            angles[slot] = new_angle;
+            gates[idx] = new_gate;
+            accepted += 1;
+        } else {
+            // Revert.
+            ckt.remove_gate(new_gate).unwrap();
+            gates[idx] = ckt
+                .insert_gate(GateKind::Ry(angles[slot]), net, &[q])
+                .unwrap();
+            ckt.update_state();
+        }
+        if (iter + 1) % 100 == 0 {
+            println!(
+                "iter {:4}: P(target) = {best:.6} ({accepted} accepted)",
+                iter + 1
+            );
+        }
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "\n{ITERATIONS} synthesis iterations in {elapsed:?} \
+         ({:.1} updates/s, avg {:.1} partitions/update)",
+        (2 * ITERATIONS) as f64 / elapsed.as_secs_f64(),
+        partitions_total as f64 / ITERATIONS as f64,
+    );
+    println!("final P(|{TARGET:08b}>) = {best:.6}");
+}

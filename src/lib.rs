@@ -1,0 +1,63 @@
+//! # qTask-rs — task-parallel quantum circuit simulation with incrementality
+//!
+//! A Rust reproduction of *"qTask: Task-parallel Quantum Circuit
+//! Simulation with Incrementality"* (Tsung-Wei Huang, IPDPS 2023). This
+//! umbrella crate re-exports the whole workspace; see `DESIGN.md` for the
+//! architecture and `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qtask::prelude::*;
+//!
+//! // Listing 1's circuit: five qubits, a net of Hadamards, four CNOTs.
+//! let mut ckt = Ckt::new(5);
+//! let net1 = ckt.insert_net_front();
+//! let net2 = ckt.insert_net_after(net1).unwrap();
+//! let (q4, q3) = (4, 3);
+//! for q in 0..5 {
+//!     ckt.insert_gate(GateKind::H, net1, &[q]).unwrap();
+//! }
+//! let g6 = ckt.insert_gate(GateKind::Cx, net2, &[q4, q3]).unwrap();
+//! ckt.update_state(); // full simulation
+//!
+//! // Modify and incrementally re-simulate.
+//! ckt.remove_gate(g6).unwrap();
+//! ckt.insert_gate(GateKind::Cx, net2, &[q3, q4]).unwrap();
+//! ckt.update_state(); // incremental: only affected partitions re-run
+//! assert!((ckt.norm_sqr() - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `qtask-core` | the incremental engine ([`core::Ckt`]) |
+//! | [`circuit`] | `qtask-circuit` | net-structured circuit IR |
+//! | [`gates`] | `qtask-gates` | standard gate database |
+//! | [`num`] | `qtask-num` | complex numbers, small unitaries |
+//! | [`partition`] | `qtask-partition` | block partitioning math |
+//! | [`taskflow`] | `qtask-taskflow` | work-stealing DAG executor |
+//! | [`qasm`] | `qtask-qasm` | OpenQASM 2.0 parser/writer |
+//! | [`baselines`] | `qtask-baselines` | Qulacs-like / Qiskit-like / naive |
+//! | [`bench_circuits`] | `qtask-bench-circuits` | QASMBench-style generators |
+
+pub use qtask_baselines as baselines;
+pub use qtask_bench_circuits as bench_circuits;
+pub use qtask_circuit as circuit;
+pub use qtask_core as core;
+pub use qtask_gates as gates;
+pub use qtask_num as num;
+pub use qtask_partition as partition;
+pub use qtask_qasm as qasm;
+pub use qtask_taskflow as taskflow;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use qtask_baselines::{NaiveSim, QiskitLike, QulacsLike, Simulator};
+    pub use qtask_circuit::{Circuit, CircuitBuilder, CircuitStats, Gate, GateId, NetId};
+    pub use qtask_core::{Ckt, RowOrderPolicy, SimConfig, UpdateReport};
+    pub use qtask_gates::{GateClass, GateKind};
+    pub use qtask_num::{c64, Complex64};
+    pub use qtask_taskflow::{Executor, Taskflow};
+}

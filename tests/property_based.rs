@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) for the paper's core invariants.
+//!
+//! 1. **Incrementality is invisible**: any interleaving of modifiers and
+//!    incremental updates ends in exactly the state a from-scratch full
+//!    simulation of the final circuit produces.
+//! 2. **Unitarity**: the engine preserves the state norm.
+//! 3. **Partition soundness**: derived partitions tile the touched items
+//!    and stay block-disjoint for arbitrary ops and geometries.
+
+use proptest::prelude::*;
+use qtask::prelude::*;
+use qtask_num::vecops;
+use qtask_partition::{derive_partitions, BlockGeometry, LinearOp};
+
+/// A serializable modifier script step.
+#[derive(Clone, Debug)]
+enum Step {
+    Insert { kind_sel: u8, qubits: Vec<u8>, angle: f64, net_sel: u8 },
+    Remove { gate_sel: u8 },
+    Update,
+}
+
+fn step_strategy(n: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u8..12, proptest::collection::vec(0..n, 3), -3.0..3.0f64, any::<u8>())
+            .prop_map(|(kind_sel, qubits, angle, net_sel)| Step::Insert {
+                kind_sel,
+                qubits,
+                angle,
+                net_sel
+            }),
+        2 => any::<u8>().prop_map(|gate_sel| Step::Remove { gate_sel }),
+        1 => Just(Step::Update),
+    ]
+}
+
+fn pick_kind(sel: u8, angle: f64, qubits: &[u8]) -> Option<(GateKind, Vec<u8>)> {
+    let mut distinct = qubits.to_vec();
+    distinct.dedup();
+    let q0 = *qubits.first()?;
+    let q1 = qubits.get(1).copied().filter(|q| *q != q0);
+    let q2 = qubits
+        .get(2)
+        .copied()
+        .filter(|q| Some(*q) != q1 && *q != q0);
+    Some(match sel {
+        0 => (GateKind::H, vec![q0]),
+        1 => (GateKind::X, vec![q0]),
+        2 => (GateKind::T, vec![q0]),
+        3 => (GateKind::Rz(angle), vec![q0]),
+        4 => (GateKind::Ry(angle), vec![q0]),
+        5 => (GateKind::Rx(angle), vec![q0]),
+        6 => (GateKind::Cx, vec![q0, q1?]),
+        7 => (GateKind::Cz, vec![q0, q1?]),
+        8 => (GateKind::Cp(angle), vec![q0, q1?]),
+        9 => (GateKind::Swap, vec![q0, q1?]),
+        10 => (GateKind::Ccx, vec![q0, q1?, q2?]),
+        _ => (GateKind::S, vec![q0]),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_equals_full_rebuild(
+        n in 2u8..6,
+        log_block in 0u32..6,
+        steps in proptest::collection::vec(step_strategy(5), 1..40),
+    ) {
+        let block_size = 1usize << log_block;
+        let mut cfg = SimConfig::with_block_size(block_size);
+        cfg.num_threads = 2;
+        let mut ckt = Ckt::with_config(n, cfg);
+        let mut nets = vec![ckt.push_net(), ckt.push_net(), ckt.push_net()];
+        let mut live: Vec<GateId> = Vec::new();
+        for step in steps {
+            match step {
+                Step::Insert { kind_sel, qubits, angle, net_sel } => {
+                    let qubits: Vec<u8> = qubits.into_iter().map(|q| q % n).collect();
+                    if let Some((kind, operands)) = pick_kind(kind_sel, angle, &qubits) {
+                        if nets.len() < 8 && net_sel as usize % 5 == 0 {
+                            nets.push(ckt.push_net());
+                        }
+                        let net = nets[net_sel as usize % nets.len()];
+                        if let Ok(gid) = ckt.insert_gate(kind, net, &operands) {
+                            live.push(gid);
+                        }
+                    }
+                }
+                Step::Remove { gate_sel } => {
+                    if !live.is_empty() {
+                        let gid = live.swap_remove(gate_sel as usize % live.len());
+                        ckt.remove_gate(gid).unwrap();
+                    }
+                }
+                Step::Update => {
+                    ckt.update_state();
+                }
+            }
+            ckt.validate_graph().map_err(|e| TestCaseError::fail(e))?;
+        }
+        ckt.update_state();
+        // Oracle: from-scratch replay of the final circuit.
+        let mut want = vecops::ket_zero(n as usize);
+        for (_, g) in ckt.circuit().ordered_gates() {
+            qtask_partition::kernels::apply_gate(
+                g.kind(), g.control_mask(), g.targets(), &mut want);
+        }
+        let got = ckt.state();
+        prop_assert!(
+            vecops::approx_eq(&got, &want, 1e-8),
+            "diverged by {}", vecops::max_abs_diff(&got, &want)
+        );
+        prop_assert!((ckt.norm_sqr() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn partitions_tile_items_and_stay_disjoint(
+        n in 1u8..11,
+        log_block in 0u32..8,
+        target in 0u8..11,
+        control in 0u8..11,
+        diag in any::<bool>(),
+    ) {
+        let target = target % n;
+        let control = control % n;
+        let geom = BlockGeometry::new(n, 1usize << log_block);
+        let controls = if control != target { 1u64 << control } else { 0 };
+        let op = if diag {
+            LinearOp::Diag {
+                controls,
+                target,
+                d0: Complex64::ONE,
+                d1: c64(0.0, 1.0),
+            }
+        } else {
+            LinearOp::AntiDiag {
+                controls,
+                target,
+                a01: Complex64::ONE,
+                a10: Complex64::ONE,
+            }
+        };
+        let pattern = op.pattern(n);
+        let parts = derive_partitions(&pattern, &geom);
+        // Tiling.
+        let mut next = 0u64;
+        for p in &parts {
+            prop_assert_eq!(p.item_start, next);
+            next = p.item_end;
+        }
+        prop_assert_eq!(next, pattern.num_items());
+        // Disjoint, ordered blocks; touched indices inside.
+        for w in parts.windows(2) {
+            prop_assert!(w[0].block_hi < w[1].block_lo);
+        }
+        for p in &parts {
+            for low in pattern.iter_lows(p.item_start..p.item_end) {
+                let hi = pattern.partner(low);
+                for idx in [low, hi] {
+                    let b = geom.block_of(idx as usize) as u32;
+                    prop_assert!(p.block_lo <= b && b <= p.block_hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_circuits_preserve_norm(
+        seed in any::<u64>(),
+        n in 2u8..7,
+        gates in 1usize..60,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = qtask::bench_circuits::random::random_circuit(&mut rng, n, gates);
+        let mut ckt = Ckt::from_circuit(&circuit, SimConfig::with_block_size(16));
+        ckt.update_state();
+        prop_assert!((ckt.norm_sqr() - 1.0).abs() < 1e-8);
+    }
+}
