@@ -75,14 +75,7 @@ impl QiskitLike {
         self.state = out;
     }
 
-    fn dense_into(
-        &self,
-        controls: u64,
-        target: u8,
-        mat: &Mat2,
-        n: u8,
-        out: &mut [Complex64],
-    ) {
+    fn dense_into(&self, controls: u64, target: u8, mat: &Mat2, n: u8, out: &mut [Complex64]) {
         let total = dense_pattern(controls, target, n).num_items();
         let threads = self.executor.num_threads() as u64;
         let chunk = (total.div_ceil(threads.max(1) * 4)).max(MIN_PAR_ITEMS);

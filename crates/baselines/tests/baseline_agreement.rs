@@ -114,10 +114,18 @@ fn removal_protocol_matches() {
     qulacs.remove_gate(gq[1]).unwrap();
     naive.update_state();
     qulacs.update_state();
-    assert!(vecops::approx_eq(&qulacs.state_vec(), &naive.state_vec(), 1e-10));
+    assert!(vecops::approx_eq(
+        &qulacs.state_vec(),
+        &naive.state_vec(),
+        1e-10
+    ));
     naive.remove_net(nets_n[0]).unwrap();
     qulacs.remove_net(nets_q[0]).unwrap();
     naive.update_state();
     qulacs.update_state();
-    assert!(vecops::approx_eq(&qulacs.state_vec(), &naive.state_vec(), 1e-10));
+    assert!(vecops::approx_eq(
+        &qulacs.state_vec(),
+        &naive.state_vec(),
+        1e-10
+    ));
 }

@@ -65,121 +65,261 @@ pub fn catalog() -> &'static [BenchEntry] {
         BenchEntry {
             name: "dnn",
             description: "Quantum deep neural network",
-            paper: row!(8, 1200, 384, [21.8, 2167.8, 0.07], [51.4, 5114.3, 0.07], [22.4, 529.3, 0.09]),
+            paper: row!(
+                8,
+                1200,
+                384,
+                [21.8, 2167.8, 0.07],
+                [51.4, 5114.3, 0.07],
+                [22.4, 529.3, 0.09]
+            ),
             build: gens_app::dnn,
         },
         BenchEntry {
             name: "adder",
             description: "Quantum ripple adder",
-            paper: row!(10, 142, 65, [17.2, 186.4, 0.05], [29.5, 320.1, 0.04], [11.79, 57.9, 0.06]),
+            paper: row!(
+                10,
+                142,
+                65,
+                [17.2, 186.4, 0.05],
+                [29.5, 320.1, 0.04],
+                [11.79, 57.9, 0.06]
+            ),
             build: gens_core::adder,
         },
         BenchEntry {
             name: "bb84",
             description: "Quantum key distribution",
-            paper: row!(8, 27, 0, [1.1, 2.3, 0.03], [1.1, 2.4, 0.03], [1.5, 1.9, 0.04]),
+            paper: row!(
+                8,
+                27,
+                0,
+                [1.1, 2.3, 0.03],
+                [1.1, 2.4, 0.03],
+                [1.5, 1.9, 0.04]
+            ),
             build: gens_core::bb84,
         },
         BenchEntry {
             name: "bv",
             description: "Bernstein-Vazirani algorithm",
-            paper: row!(14, 41, 13, [9.0, 21.7, 0.11], [16.7, 40.6, 0.12], [6.7, 14.3, 0.13]),
+            paper: row!(
+                14,
+                41,
+                13,
+                [9.0, 21.7, 0.11],
+                [16.7, 40.6, 0.12],
+                [6.7, 14.3, 0.13]
+            ),
             build: gens_core::bv,
         },
         BenchEntry {
             name: "ising",
             description: "Ising model simulation",
-            paper: row!(10, 480, 90, [49.6, 1438.1, 0.08], [81.4, 2360.1, 0.09], [41.7, 550.14, 0.10]),
+            paper: row!(
+                10,
+                480,
+                90,
+                [49.6, 1438.1, 0.08],
+                [81.4, 2360.1, 0.09],
+                [41.7, 550.14, 0.10]
+            ),
             build: gens_core::ising,
         },
         BenchEntry {
             name: "multiplier",
             description: "Quantum multiplication",
-            paper: row!(15, 574, 246, [150.9, 4199.0, 1.98], [283.7, 7896.3, 2.86], [101.62, 1052.6, 3.46]),
+            paper: row!(
+                15,
+                574,
+                246,
+                [150.9, 4199.0, 1.98],
+                [283.7, 7896.3, 2.86],
+                [101.62, 1052.6, 3.46]
+            ),
             build: gens_app::multiplier,
         },
         BenchEntry {
             name: "multiplier_35",
             description: "3x5 matrix multiplication",
-            paper: row!(13, 98, 40, [22.4, 130.1, 0.10], [47.1, 273.54, 0.15], [16.01, 92.7, 0.18]),
+            paper: row!(
+                13,
+                98,
+                40,
+                [22.4, 130.1, 0.10],
+                [47.1, 273.54, 0.15],
+                [16.01, 92.7, 0.18]
+            ),
             build: gens_app::multiplier_35,
         },
         BenchEntry {
             name: "qaoa",
             description: "Approximation optimization",
-            paper: row!(6, 270, 54, [5.4, 148.5, 0.01], [13.4, 368.5, 0.01], [6.1, 37.65, 0.02]),
+            paper: row!(
+                6,
+                270,
+                54,
+                [5.4, 148.5, 0.01],
+                [13.4, 368.5, 0.01],
+                [6.1, 37.65, 0.02]
+            ),
             build: gens_app::qaoa,
         },
         BenchEntry {
             name: "qf21",
             description: "Quantum factorization of 21",
-            paper: row!(15, 311, 115, [79.8, 1173.1, 1.59], [191.5, 2815.1, 1.66], [58.3, 480.7, 1.91]),
+            paper: row!(
+                15,
+                311,
+                115,
+                [79.8, 1173.1, 1.59],
+                [191.5, 2815.1, 1.66],
+                [58.3, 480.7, 1.91]
+            ),
             build: gens_app::qf21,
         },
         BenchEntry {
             name: "qft",
             description: "Quantum Fourier transform",
-            paper: row!(15, 540, 210, [142.0, 3621.0, 2.75], [281.2, 7170.1, 3.11], [102.2, 949.4, 3.17]),
+            paper: row!(
+                15,
+                540,
+                210,
+                [142.0, 3621.0, 2.75],
+                [281.2, 7170.1, 3.11],
+                [102.2, 949.4, 3.17]
+            ),
             build: gens_core::qft,
         },
         BenchEntry {
             name: "qpe",
             description: "Quantum phase estimation",
-            paper: row!(9, 123, 43, [10.3, 100.42, 0.02], [27.8, 270.4, 0.04], [7.65, 80.44, 0.05]),
+            paper: row!(
+                9,
+                123,
+                43,
+                [10.3, 100.42, 0.02],
+                [27.8, 270.4, 0.04],
+                [7.65, 80.44, 0.05]
+            ),
             build: gens_app::qpe,
         },
         BenchEntry {
             name: "sat",
             description: "Boolean satisfiability solver",
-            paper: row!(11, 679, 252, [85.5, 3660.7, 0.11], [196.7, 8422.1, 0.21], [62.3, 786.5, 0.28]),
+            paper: row!(
+                11,
+                679,
+                252,
+                [85.5, 3660.7, 0.11],
+                [196.7, 8422.1, 0.21],
+                [62.3, 786.5, 0.28]
+            ),
             build: gens_app::sat,
         },
         BenchEntry {
             name: "seca",
             description: "Shor's algorithm",
-            paper: row!(11, 216, 84, [28.4, 401.0, 0.06], [59.64, 843.0, 0.09], [21.42, 128.5, 0.11]),
+            paper: row!(
+                11,
+                216,
+                84,
+                [28.4, 401.0, 0.06],
+                [59.64, 843.0, 0.09],
+                [21.42, 128.5, 0.11]
+            ),
             build: gens_app::seca,
         },
         BenchEntry {
             name: "simons",
             description: "Simon's algorithm",
-            paper: row!(6, 44, 14, [0.83, 3.9, 0.03], [1.44, 6.71, 0.03], [0.81, 2.44, 0.04]),
+            paper: row!(
+                6,
+                44,
+                14,
+                [0.83, 3.9, 0.03],
+                [1.44, 6.71, 0.03],
+                [0.81, 2.44, 0.04]
+            ),
             build: gens_app::simons,
         },
         BenchEntry {
             name: "vqe_uccsd",
             description: "Variational quantum eigensolver",
-            paper: row!(8, 10808, 5488, [244.4, 249084.2, 0.36], [435.1, 443367.1, 0.56], [259.4, 44251.1, 0.76]),
+            paper: row!(
+                8,
+                10808,
+                5488,
+                [244.4, 249084.2, 0.36],
+                [435.1, 443367.1, 0.56],
+                [259.4, 44251.1, 0.76]
+            ),
             build: gens_app::vqe_uccsd,
         },
         BenchEntry {
             name: "big_adder",
             description: "Quantum ripple adder",
-            paper: row!(18, 284, 130, [200.1, 2401.3, 7.98], [360.4, 4300.8, 11.4], [137.9, 602.5, 13.9]),
+            paper: row!(
+                18,
+                284,
+                130,
+                [200.1, 2401.3, 7.98],
+                [360.4, 4300.8, 11.4],
+                [137.9, 602.5, 13.9]
+            ),
             build: gens_core::adder,
         },
         BenchEntry {
             name: "big_bv",
             description: "Bernstein-Vazirani algorithm",
-            paper: row!(19, 56, 18, [125.0, 305.9, 2.6], [234.5, 573.9, 3.9], [95.4, 126.6, 4.9]),
+            paper: row!(
+                19,
+                56,
+                18,
+                [125.0, 305.9, 2.6],
+                [234.5, 573.9, 3.9],
+                [95.4, 126.6, 4.9]
+            ),
             build: gens_core::bv,
         },
         BenchEntry {
             name: "big_cc",
             description: "Counterfeit coin finding",
-            paper: row!(18, 34, 17, [24.9, 47.8, 0.98], [42.3, 63.3, 1.5], [16.6, 24.5, 1.7]),
+            paper: row!(
+                18,
+                34,
+                17,
+                [24.9, 47.8, 0.98],
+                [42.3, 63.3, 1.5],
+                [16.6, 24.5, 1.7]
+            ),
             build: gens_core::cc,
         },
         BenchEntry {
             name: "big_ising",
             description: "Ising model simulation",
-            paper: row!(26, 280, 50, [1939.1, 3345.5, 89.4], [1745.3, 2866.2, 91.4], [991.4, 2000.3, 114.3]),
+            paper: row!(
+                26,
+                280,
+                50,
+                [1939.1, 3345.5, 89.4],
+                [1745.3, 2866.2, 91.4],
+                [991.4, 2000.3, 114.3]
+            ),
             build: gens_core::ising,
         },
         BenchEntry {
             name: "big_qft",
             description: "Quantum Fourier transform",
-            paper: row!(20, 970, 380, [2936.3, 100567.0, 67.3], [3012.6, 144453.4, 77.6], [2209.7, 12912.8, 91.2]),
+            paper: row!(
+                20,
+                970,
+                380,
+                [2936.3, 100567.0, 67.3],
+                [3012.6, 144453.4, 77.6],
+                [2209.7, 12912.8, 91.2]
+            ),
             build: gens_core::qft,
         },
     ]

@@ -120,7 +120,11 @@ pub fn qpe(n: u8) -> Circuit {
     for i in 0..3u8.min(counting) {
         b.cx(i, (i + 1) % counting);
     }
-    fill_singles(&mut b, 123usize.saturating_sub(1 + counting as usize + 5 * k + 3), n);
+    fill_singles(
+        &mut b,
+        123usize.saturating_sub(1 + counting as usize + 5 * k + 3),
+        n,
+    );
     b.finish()
 }
 
@@ -203,7 +207,13 @@ pub fn simons(n: u8) -> Circuit {
 
 /// Generic Toffoli-ladder arithmetic kernel used by the multiplier and
 /// factorization entries.
-fn arith(n: u8, ccx_blocks: usize, plain_cx: usize, total_gates: usize, x_prologue: usize) -> Circuit {
+fn arith(
+    n: u8,
+    ccx_blocks: usize,
+    plain_cx: usize,
+    total_gates: usize,
+    x_prologue: usize,
+) -> Circuit {
     let mut b = CircuitBuilder::new(n);
     for i in 0..x_prologue {
         b.x((i % n as usize) as u8);
@@ -215,12 +225,7 @@ fn arith(n: u8, ccx_blocks: usize, plain_cx: usize, total_gates: usize, x_prolog
         if c1 != c2 && c2 != t && c1 != t {
             ccx_decomposed(&mut b, c1, c2, t);
         } else {
-            ccx_decomposed(
-                &mut b,
-                c1,
-                (c1 + 1) % n,
-                (c1 + 2) % n,
-            );
+            ccx_decomposed(&mut b, c1, (c1 + 1) % n, (c1 + 2) % n);
         }
         if blk % 6 == 5 && plain_cx > 0 {
             // interleave part of the CX budget

@@ -79,7 +79,7 @@ pub fn bv(n: u8) -> Circuit {
 /// cout), Toffolis decomposed. With the input-initializing X gates this
 /// reproduces adder(10) = 142/65 and big_adder(18) = 284/129 (paper: 130).
 pub fn adder(n: u8) -> Circuit {
-    assert!(n >= 4 && n % 2 == 0, "adder needs 2k+2 qubits");
+    assert!(n >= 4 && n.is_multiple_of(2), "adder needs 2k+2 qubits");
     let k = (n - 2) / 2;
     let cin = 0u8;
     let a = |i: u8| 1 + i;

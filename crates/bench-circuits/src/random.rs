@@ -25,11 +25,14 @@ pub fn random_gate<R: Rng>(rng: &mut R, n: u8) -> (GateKind, Vec<u8>) {
         ),
         11 if n >= 2 => (GateKind::Swap, vec![qubits[0], qubits[1]]),
         12 if n >= 3 => (GateKind::Ccx, vec![qubits[0], qubits[1], qubits[2]]),
-        _ => (GateKind::U3(
-            rng.random_range(-3.0..3.0),
-            rng.random_range(-3.0..3.0),
-            rng.random_range(-3.0..3.0),
-        ), vec![qubits[0]]),
+        _ => (
+            GateKind::U3(
+                rng.random_range(-3.0..3.0),
+                rng.random_range(-3.0..3.0),
+                rng.random_range(-3.0..3.0),
+            ),
+            vec![qubits[0]],
+        ),
     }
 }
 

@@ -6,9 +6,11 @@
 //! * **MxV group cap** — how many superposition gates share one
 //!   matrix–vector row (group 1 = gate-at-a-time; larger groups halve
 //!   full-vector passes but square the per-amplitude source terms).
+//! * **COW resolve policy** — per-block owner index (binary search,
+//!   depth-independent) vs the legacy backward row walk (O(live rows)).
 
 use qtask_bench::*;
-use qtask_core::{RowOrderPolicy, SimConfig};
+use qtask_core::{ResolvePolicy, RowOrderPolicy, SimConfig};
 use qtask_taskflow::Executor;
 use std::sync::Arc;
 
@@ -39,10 +41,15 @@ fn main() {
     );
     for name in ["qft", "big_adder", "sat"] {
         for policy in [RowOrderPolicy::SortedByBlockCount, RowOrderPolicy::Append] {
-            let mut config = SimConfig::default();
-            config.row_order = policy;
+            let config = SimConfig {
+                row_order: policy,
+                ..SimConfig::default()
+            };
             let (full, inc) = measure(&opts, &ex, name, &config);
-            println!("{name:<12} {:<22} {full:>12.2} {inc:>12.2}", format!("{policy:?}"));
+            println!(
+                "{name:<12} {:<22} {full:>12.2} {inc:>12.2}",
+                format!("{policy:?}")
+            );
         }
     }
 
@@ -53,10 +60,28 @@ fn main() {
     );
     for name in ["qft", "ising", "dnn"] {
         for cap in [1usize, 2, 3, 4] {
-            let mut config = SimConfig::default();
-            config.mxv_group_max = cap;
+            let config = SimConfig {
+                mxv_group_max: cap,
+                ..SimConfig::default()
+            };
             let (full, inc) = measure(&opts, &ex, name, &config);
             println!("{name:<12} {cap:>6} {full:>12.2} {inc:>12.2}");
+        }
+    }
+
+    println!("\nCOW resolve policy (owner index vs legacy chain walk):");
+    println!(
+        "{:<12} {:<12} {:>12} {:>12}",
+        "circuit", "policy", "full (ms)", "inc (ms)"
+    );
+    for name in ["qft", "big_adder", "vqe_uccsd"] {
+        for resolve in [ResolvePolicy::OwnerIndex, ResolvePolicy::ChainWalk] {
+            let config = SimConfig::default().with_resolve(resolve);
+            let (full, inc) = measure(&opts, &ex, name, &config);
+            println!(
+                "{name:<12} {:<12} {full:>12.2} {inc:>12.2}",
+                format!("{resolve:?}")
+            );
         }
     }
 }

@@ -50,7 +50,8 @@ fn run_series(name: &str, opts: &Opts, ex: &Arc<Executor>) {
             let t0 = Instant::now();
             for &lvl in &batch {
                 for (kind, qubits) in &levels[lvl] {
-                    sim.insert_gate(*kind, nets[s][lvl], qubits).expect("insert");
+                    sim.insert_gate(*kind, nets[s][lvl], qubits)
+                        .expect("insert");
                 }
             }
             sim.update_state();

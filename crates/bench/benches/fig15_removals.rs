@@ -43,7 +43,10 @@ fn run_series(name: &str, opts: &Opts, ex: &Arc<Executor>) {
         sim.update_state();
         row[s] = t0.elapsed().as_secs_f64() * 1e3;
     }
-    println!("{:>5} {:>12.2} {:>12.2}   (full simulation)", 0, row[0], row[1]);
+    println!(
+        "{:>5} {:>12.2} {:>12.2}   (full simulation)",
+        0, row[0], row[1]
+    );
     let mut iter = 0usize;
     let mut cursor = 0usize;
     while cursor < order.len() {

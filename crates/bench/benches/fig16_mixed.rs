@@ -61,9 +61,7 @@ fn run_series(name: &str, opts: &Opts, ex: &Arc<Executor>) {
                     let net = gate_ids[s][lvl].0;
                     gate_ids[s][lvl].1 = levels[lvl]
                         .iter()
-                        .map(|(kind, qubits)| {
-                            sim.insert_gate(*kind, net, qubits).expect("insert")
-                        })
+                        .map(|(kind, qubits)| sim.insert_gate(*kind, net, qubits).expect("insert"))
                         .collect();
                 }
             }

@@ -14,13 +14,7 @@ use std::time::Instant;
 const ITERATIONS: usize = 50;
 
 /// Total runtime of the 50-iteration mixed protocol for one simulator.
-fn mixed_protocol_ms(
-    kind: SimKind,
-    n: u8,
-    ex: &Arc<Executor>,
-    levels: &Levels,
-    seed: u64,
-) -> f64 {
+fn mixed_protocol_ms(kind: SimKind, n: u8, ex: &Arc<Executor>, levels: &Levels, seed: u64) -> f64 {
     let config = SimConfig::default();
     let mut sim = make_sim(kind, n, ex, &config);
     let mut gate_ids = load_levels(sim.as_mut(), levels);

@@ -29,8 +29,10 @@ fn main() {
     // (QTASK_BENCH_FULL=1 starts at 0 like the paper).
     let lo = if opts.full { 0 } else { 4 };
     for log_b in (lo..=n as u32).step_by(2) {
-        let mut config = SimConfig::default();
-        config.block_size = 1usize << log_b;
+        let config = SimConfig {
+            block_size: 1usize << log_b,
+            ..SimConfig::default()
+        };
         let full = median_of(opts.reps, || {
             let mut sim = make_sim(SimKind::QTask, n, &ex, &config);
             full_sim_ms(sim.as_mut(), &levels)
@@ -53,9 +55,7 @@ fn main() {
                     let net = gate_ids[lvl].0;
                     gate_ids[lvl].1 = levels[lvl]
                         .iter()
-                        .map(|(kind, qubits)| {
-                            sim.insert_gate(*kind, net, qubits).expect("insert")
-                        })
+                        .map(|(kind, qubits)| sim.insert_gate(*kind, net, qubits).expect("insert"))
                         .collect();
                 }
                 present[lvl] = !present[lvl];

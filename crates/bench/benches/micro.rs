@@ -3,7 +3,7 @@
 //! the COW resolve chain.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use qtask_core::{Ckt, SimConfig};
+use qtask_core::{Ckt, ResolvePolicy, SimConfig};
 use qtask_gates::GateKind;
 use qtask_num::{vecops, Complex64};
 use qtask_partition::{derive_partitions, kernels, BlockGeometry, LinearOp};
@@ -128,6 +128,79 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
+/// Builds a depth-`depth` T-gate chain on the top qubit. Every chain row
+/// owns only the top half of the blocks, so reads of bottom-half blocks
+/// from the chain's tail must look past the whole chain — the
+/// depth-proportional resolution pattern the owner index collapses to a
+/// binary search.
+fn phase_chain(depth: usize, resolve: ResolvePolicy) -> Ckt {
+    // 8 qubits over 4-amplitude blocks = 64 blocks: a fine partitioning,
+    // so resolution (not amplitude arithmetic) dominates each update.
+    let mut cfg = SimConfig::with_block_size(4);
+    cfg.num_threads = 2;
+    cfg.resolve = resolve;
+    let mut ckt = Ckt::with_config(8, cfg);
+    for _ in 0..depth {
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::T, net, &[7]).unwrap();
+    }
+    ckt
+}
+
+/// Appends a trailing net with one H(q0) to `ckt` and simulates once.
+/// Afterwards the net's MxV row is the last row and owns every block, so
+/// toggling a second dense factor in that row is an O(1) modifier whose
+/// update re-executes all its block partitions — and each partition read
+/// resolves blocks *before* the MxV row, through the whole chain.
+fn with_trailing_mxv(mut ckt: Ckt) -> (Ckt, qtask_circuit::NetId) {
+    let net = ckt.push_net();
+    ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+    ckt.update_state();
+    (ckt, net)
+}
+
+/// One steady-state toggle: dirty the trailing MxV row twice and
+/// re-simulate. No rows are created or removed, so the measured cost is
+/// block resolution plus a fixed executor floor.
+fn toggle_once(ckt: &mut Ckt, net: qtask_circuit::NetId) -> u64 {
+    let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+    let report = ckt.update_state();
+    ckt.remove_gate(gid).unwrap();
+    ckt.update_state();
+    report.owner_probes
+}
+
+/// The tentpole measurement: per-update block-resolution cost at the tail
+/// of a depth-512 chain, owner index vs legacy chain walk. The chain's T
+/// rows own only the top-half blocks, so every bottom-half read walks the
+/// full chain under `ChainWalk`; the owner index answers each in
+/// O(log owners). The depth sweep shows the index cost staying flat while
+/// the walk grows linearly.
+fn bench_deep_chain_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deep_chain_resolution");
+    g.sample_size(20);
+    for (label, resolve) in [
+        ("owner_index_d512", ResolvePolicy::OwnerIndex),
+        ("chain_walk_d512", ResolvePolicy::ChainWalk),
+    ] {
+        let (mut ckt, net) = with_trailing_mxv(phase_chain(512, resolve));
+        g.bench_function(label, |b| b.iter(|| black_box(toggle_once(&mut ckt, net))));
+    }
+    for depth in [64usize, 256, 1024] {
+        for resolve in [ResolvePolicy::OwnerIndex, ResolvePolicy::ChainWalk] {
+            let (mut ckt, net) = with_trailing_mxv(phase_chain(depth, resolve));
+            let tag = match resolve {
+                ResolvePolicy::OwnerIndex => "owner_index",
+                ResolvePolicy::ChainWalk => "chain_walk",
+            };
+            g.bench_function(format!("{tag}_d{depth}"), |b| {
+                b.iter(|| black_box(toggle_once(&mut ckt, net)))
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
@@ -135,6 +208,7 @@ criterion_group!(
     bench_derive,
     bench_executor,
     bench_incremental_update,
-    bench_query
+    bench_query,
+    bench_deep_chain_resolution
 );
 criterion_main!(benches);

@@ -33,8 +33,19 @@ fn main() {
     );
     println!(
         "{:<14}{:>3}{:>6}{:>5} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7} | {:>9}{:>9}{:>7}",
-        "circuit", "q", "gates", "cx", "Qul full", "Qul inc", "GB", "Qis full", "Qis inc", "GB",
-        "qT full", "qT inc", "GB"
+        "circuit",
+        "q",
+        "gates",
+        "cx",
+        "Qul full",
+        "Qul inc",
+        "GB",
+        "Qis full",
+        "Qis inc",
+        "GB",
+        "qT full",
+        "qT inc",
+        "GB"
     );
     rule(118);
     let mut speedup_full = [Vec::new(), Vec::new()]; // vs qulacs, vs qiskit

@@ -163,10 +163,7 @@ impl Circuit {
             }
         }
         let gate = Gate::new(kind, qubits);
-        let net_ref = self
-            .nets
-            .get_mut(net.key())
-            .ok_or(CircuitError::StaleNet)?;
+        let net_ref = self.nets.get_mut(net.key()).ok_or(CircuitError::StaleNet)?;
         let mask = gate.qubit_mask();
         if net_ref.occupied & mask != 0 {
             let qubit = (net_ref.occupied & mask).trailing_zeros() as u8;
@@ -254,15 +251,12 @@ impl Circuit {
 
     /// All gates of a net.
     pub fn net_gates(&self, id: NetId) -> impl Iterator<Item = (GateId, &Gate)> {
-        self.nets
-            .get(id.key())
-            .into_iter()
-            .flat_map(move |net| {
-                net.gate_ids.iter().map(move |gid| {
-                    let (g, _) = self.gates.get(gid.key()).expect("net gate is live");
-                    (*gid, g)
-                })
+        self.nets.get(id.key()).into_iter().flat_map(move |net| {
+            net.gate_ids.iter().map(move |gid| {
+                let (g, _) = self.gates.get(gid.key()).expect("net gate is live");
+                (*gid, g)
             })
+        })
     }
 
     /// Position of a net from the front (O(n); diagnostics and tests).
@@ -273,7 +267,12 @@ impl Circuit {
 
 impl std::fmt::Debug for Circuit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Circuit({} qubits, {} nets)", self.num_qubits, self.num_nets())?;
+        writeln!(
+            f,
+            "Circuit({} qubits, {} nets)",
+            self.num_qubits,
+            self.num_nets()
+        )?;
         for (i, (_, net)) in self.nets.iter().enumerate() {
             write!(f, "  net{}:", i + 1)?;
             for gid in &net.gate_ids {
@@ -353,7 +352,10 @@ mod tests {
         let mut ckt = Circuit::new(3);
         let net = ckt.push_net();
         let err = ckt.insert_gate(GateKind::H, net, &[3]).unwrap_err();
-        assert!(matches!(err, CircuitError::QubitOutOfRange { qubit: 3, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::QubitOutOfRange { qubit: 3, .. }
+        ));
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl std::fmt::Display for CircuitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::NetConflict { qubit } => write!(
                 f,
@@ -41,7 +44,11 @@ impl std::fmt::Display for CircuitError {
             CircuitError::StaleNet => write!(f, "referenced net was removed"),
             CircuitError::StaleGate => write!(f, "referenced gate was removed"),
             CircuitError::TooManyQubits { requested } => {
-                write!(f, "{requested} qubits exceeds the supported maximum of {}", crate::MAX_QUBITS)
+                write!(
+                    f,
+                    "{requested} qubits exceeds the supported maximum of {}",
+                    crate::MAX_QUBITS
+                )
             }
         }
     }

@@ -58,8 +58,8 @@ impl std::fmt::Display for CircuitStats {
 
 #[cfg(test)]
 mod tests {
-    use crate::circuit::figure2_circuit;
     use super::*;
+    use crate::circuit::figure2_circuit;
 
     #[test]
     fn figure2_stats() {

@@ -12,6 +12,18 @@ pub enum RowOrderPolicy {
     Append,
 }
 
+/// How copy-on-write block reads find the owning row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvePolicy {
+    /// Binary-search the per-block owner index: O(log owners-of-block)
+    /// per lookup, independent of circuit depth. The default.
+    OwnerIndex,
+    /// Walk the row list backward until an owner is found: O(live rows)
+    /// per lookup. Kept for the ablation bench and as a differential
+    /// oracle for the index.
+    ChainWalk,
+}
+
 /// Tunables of a [`crate::Ckt`].
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -33,6 +45,8 @@ pub struct SimConfig {
     /// passes relative to gate-at-a-time baselines). The ablation bench
     /// sweeps this knob.
     pub mxv_group_max: usize,
+    /// How block reads resolve the COW chain (see `DESIGN.md`).
+    pub resolve: ResolvePolicy,
 }
 
 impl Default for SimConfig {
@@ -42,6 +56,7 @@ impl Default for SimConfig {
             num_threads: qtask_taskflow::default_threads(),
             row_order: RowOrderPolicy::SortedByBlockCount,
             mxv_group_max: 2,
+            resolve: ResolvePolicy::OwnerIndex,
         }
     }
 }
@@ -62,6 +77,12 @@ impl SimConfig {
             ..SimConfig::default()
         }
     }
+
+    /// This config with the given resolve policy.
+    pub fn with_resolve(mut self, resolve: ResolvePolicy) -> SimConfig {
+        self.resolve = resolve;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +94,9 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.block_size, 256);
         assert_eq!(c.row_order, RowOrderPolicy::SortedByBlockCount);
+        assert_eq!(c.resolve, ResolvePolicy::OwnerIndex);
         assert!(c.num_threads >= 1);
+        let c = c.with_resolve(ResolvePolicy::ChainWalk);
+        assert_eq!(c.resolve, ResolvePolicy::ChainWalk);
     }
 }

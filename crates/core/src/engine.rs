@@ -3,6 +3,7 @@
 use crate::config::{RowOrderPolicy, SimConfig};
 use crate::cow::RowVector;
 use crate::exec::{self, ExecView};
+use crate::owners::{OwnerIndex, ResolveStats};
 use crate::row::{DenseFactor, PartId, Partition, Row, RowId, RowKind};
 use qtask_circuit::{Circuit, CircuitError, Gate, GateId, NetId};
 use qtask_gates::GateKind;
@@ -65,6 +66,12 @@ pub struct UpdateReport {
     pub build_elapsed: Duration,
     /// Time spent executing the task graph on the worker pool.
     pub run_elapsed: Duration,
+    /// COW block resolutions performed by the executed tasks.
+    pub blocks_resolved: u64,
+    /// Owner probes those resolutions cost: rows visited (chain walk) or
+    /// binary-search steps (owner index). `owner_probes /
+    /// blocks_resolved` is the per-lookup cost the owner index flattens.
+    pub owner_probes: u64,
 }
 
 /// The qTask simulator object (paper Listing 1's `qTask ckt(5)`).
@@ -85,7 +92,28 @@ pub struct Ckt {
     pub(crate) net_sim: HashMap<NetId, NetSim>,
     pub(crate) gate_sim: HashMap<GateId, GateSim>,
     pub(crate) frontier: HashSet<PartId>,
+    /// Per-block sorted owner lists for O(log) COW resolution.
+    pub(crate) owners: OwnerIndex,
+    /// Resolution counters of the most recent update (also fed by lazy
+    /// query resolution; reset at each `update_state`).
+    pub(crate) resolve_stats: ResolveStats,
+    /// Reusable `update_state` allocations (dirty-set DFS + task map).
+    scratch: UpdateScratch,
     gate_seq: u64,
+}
+
+/// Allocation cache for [`Ckt::update_state`]: the dirty-set DFS scratch
+/// and the partition→task map survive across updates, so steady-state
+/// incremental updates reuse their backing storage instead of
+/// reallocating it every call.
+#[derive(Default)]
+struct UpdateScratch {
+    dirty: HashSet<PartId>,
+    stack: Vec<PartId>,
+    task_of: HashMap<PartId, qtask_taskflow::TaskRef>,
+    /// Node count of the previous task graph — the capacity hint that
+    /// lets the next `Taskflow` allocate once.
+    nodes_hint: usize,
 }
 
 impl Ckt {
@@ -115,6 +143,9 @@ impl Ckt {
             net_sim: HashMap::new(),
             gate_sim: HashMap::new(),
             frontier: HashSet::new(),
+            owners: OwnerIndex::new(geom.num_blocks()),
+            resolve_stats: ResolveStats::default(),
+            scratch: UpdateScratch::default(),
             gate_seq: 0,
         }
     }
@@ -235,11 +266,7 @@ impl Ckt {
         self.gate_seq += 1;
         let seq = self.gate_seq;
         let gate = *self.circuit.gate(gid).expect("gate just inserted");
-        let lowered = qtask_partition::lower_gate(
-            gate.kind(),
-            gate.control_mask(),
-            gate.targets(),
-        );
+        let lowered = qtask_partition::lower_gate(gate.kind(), gate.control_mask(), gate.targets());
         match lowered {
             LoweredGate::Identity => {
                 self.gate_sim.insert(gid, GateSim::Identity);
@@ -482,13 +509,20 @@ impl Ckt {
             return UpdateReport::default();
         }
         // DFS over successor edges: the dirty set is successor-closed.
-        let mut dirty: HashSet<PartId> = HashSet::new();
-        let mut stack: Vec<PartId> = self
-            .frontier
-            .iter()
-            .copied()
-            .filter(|p| self.parts.contains(p.key()))
-            .collect();
+        // The DFS scratch and the partition→task map are cached in
+        // `self.scratch` so steady-state updates reallocate nothing.
+        let mut dirty = std::mem::take(&mut self.scratch.dirty);
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut task_of = std::mem::take(&mut self.scratch.task_of);
+        dirty.clear();
+        stack.clear();
+        task_of.clear();
+        stack.extend(
+            self.frontier
+                .iter()
+                .copied()
+                .filter(|p| self.parts.contains(p.key())),
+        );
         while let Some(p) = stack.pop() {
             if dirty.insert(p) {
                 stack.extend(self.parts[p.key()].succs.iter().copied());
@@ -496,16 +530,18 @@ impl Ckt {
         }
         // Build the task graph over dirty partitions only; clean
         // predecessors' outputs are already materialized.
+        self.resolve_stats.reset();
         let chunk = self.geom.block_size() as u64;
         let view = ExecView {
             rows: &self.rows,
             parts: &self.parts,
+            owners: &self.owners,
+            stats: &self.resolve_stats,
             geom: self.geom,
             n_qubits: self.circuit.num_qubits(),
+            resolve: self.config.resolve,
         };
-        let mut tf = Taskflow::new("update_state");
-        let mut task_of: HashMap<PartId, qtask_taskflow::TaskRef> =
-            HashMap::with_capacity(dirty.len());
+        let mut tf = Taskflow::with_capacity("update_state", self.scratch.nodes_hint);
         let mut tasks_executed = 0usize;
         for &pid in &dirty {
             let part = &self.parts[pid.key()];
@@ -555,12 +591,57 @@ impl Ckt {
         self.executor.run(&tf);
         let run_elapsed = t1.elapsed();
         self.frontier.clear();
+        let partitions_executed = dirty.len();
+        let (blocks_resolved, owner_probes) = self.resolve_stats.snapshot();
+        self.scratch.nodes_hint = tf.len();
+        drop(tf);
+        self.scratch.dirty = dirty;
+        self.scratch.stack = stack;
+        self.scratch.task_of = task_of;
         UpdateReport {
-            partitions_executed: dirty.len(),
+            partitions_executed,
             tasks_executed,
             elapsed: t0.elapsed(),
             build_elapsed,
             run_elapsed,
+            blocks_resolved,
+            owner_probes,
         }
+    }
+
+    /// Debug snapshot of the owner index for block `b` (row labels in
+    /// order). For tests and diagnostics.
+    pub fn debug_block_owners(&self, b: usize) -> Vec<String> {
+        self.owners
+            .owners_of(b)
+            .into_iter()
+            .map(|r| self.rows[r.key()].label.to_string())
+            .collect()
+    }
+
+    /// Validates the owner index against the ground truth of every live
+    /// row's vector: exactly the owning rows are listed, in row order.
+    /// O(rows × blocks); tests only.
+    pub fn validate_owner_index(&self) -> Result<(), String> {
+        for b in 0..self.geom.num_blocks() {
+            let listed = self.owners.owners_of(b);
+            let truth: Vec<RowId> = self
+                .rows
+                .keys()
+                .filter(|k| self.rows[*k].vector.owns(b))
+                .map(RowId)
+                .collect();
+            if listed != truth {
+                return Err(format!(
+                    "block {b}: index lists {listed:?}, vectors say {truth:?}"
+                ));
+            }
+            for w in listed.windows(2) {
+                if !self.rows.is_before(w[0].key(), w[1].key()) {
+                    return Err(format!("block {b}: owner list out of row order"));
+                }
+            }
+        }
+        Ok(())
     }
 }

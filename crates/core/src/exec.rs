@@ -14,38 +14,80 @@
 //! stop at zero and identity patterns"), reads sources through the COW
 //! chain, and publishes the block.
 
-use crate::cow::Resolved;
+use crate::config::ResolvePolicy;
+use crate::cow::{BlockData, Resolved};
+use crate::owners::{OwnerIndex, ResolveStats};
 use crate::row::{PartId, Partition, Row, RowId, RowKind};
 use qtask_num::Complex64;
 use qtask_partition::{BlockGeometry, LinearOp};
 use qtask_util::{Arena, LinkedArena};
+use std::sync::atomic::Ordering;
 
 /// Shared read-only view of the engine internals used by executing tasks.
-/// Mutation happens only through the row vectors' slot locks.
+/// Mutation happens only through the row vectors' slot locks and the
+/// owner index's per-block locks.
 #[derive(Clone, Copy)]
 pub struct ExecView<'a> {
     /// All rows in order.
     pub rows: &'a LinkedArena<Row>,
     /// All partitions.
     pub parts: &'a Arena<Partition>,
+    /// Per-block owner lists (kept current even under `ChainWalk`, so the
+    /// policy can be flipped between updates).
+    pub owners: &'a OwnerIndex,
+    /// Resolution counters for the current update.
+    pub stats: &'a ResolveStats,
     /// Block geometry.
     pub geom: BlockGeometry,
     /// Qubit count.
     pub n_qubits: u8,
+    /// Active resolution policy.
+    pub resolve: ResolvePolicy,
 }
 
 impl<'a> ExecView<'a> {
+    #[inline]
+    fn label_of(&self, row: RowId) -> u64 {
+        self.rows
+            .order_label(row.key())
+            .expect("owner index holds only live rows")
+    }
+
     /// Resolves block `b` as seen *before* `row` (i.e. the previous row's
-    /// logical content), walking the COW chain.
+    /// logical content).
     pub fn resolve_before(&self, row: RowId, b: usize) -> Resolved {
-        let mut cur = self.rows.prev(row.key());
-        while let Some(k) = cur {
-            if let Some(data) = self.rows[k].vector.owned(b) {
-                return Resolved::Data(data);
+        match self.resolve {
+            ResolvePolicy::OwnerIndex => self
+                .owners
+                .resolve_before(
+                    b,
+                    self.label_of(row),
+                    |r| self.label_of(r),
+                    |r| self.rows[r.key()].vector.owned(b),
+                    self.stats,
+                )
+                .map_or(Resolved::Initial, Resolved::Data),
+            ResolvePolicy::ChainWalk => {
+                self.stats.blocks_resolved.fetch_add(1, Ordering::Relaxed);
+                let mut cur = self.rows.prev(row.key());
+                while let Some(k) = cur {
+                    self.stats.owner_probes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(data) = self.rows[k].vector.owned(b) {
+                        return Resolved::Data(data);
+                    }
+                    cur = self.rows.prev(k);
+                }
+                Resolved::Initial
             }
-            cur = self.rows.prev(k);
         }
-        Resolved::Initial
+    }
+
+    /// Publishes `data` as block `b` of `row`, registering the row in the
+    /// owner index. All executor-side publications go through here so the
+    /// index never misses an ownership change.
+    pub fn publish(&self, row_id: RowId, row: &Row, b: usize, data: BlockData) {
+        row.vector.publish(b, data);
+        self.owners.add(b, row_id, |r| self.label_of(r));
     }
 }
 
@@ -66,11 +108,7 @@ impl BlockSet {
     /// so repeated incremental updates allocate nothing.
     fn ensure(&mut self, view: &ExecView<'_>, row_id: RowId, row: &Row, b: usize) -> usize {
         // Blocks arrive in short runs; scan from the back.
-        if let Some(pos) = self
-            .entries
-            .iter()
-            .rposition(|(blk, _)| *blk == b)
-        {
+        if let Some(pos) = self.entries.iter().rposition(|(blk, _)| *blk == b) {
             return pos;
         }
         let resolved = view.resolve_before(row_id, b);
@@ -116,9 +154,13 @@ pub fn exec_linear_partition(view: ExecView<'_>, pid: PartId, ranks: std::ops::R
             LinearOp::Diag { target, d0, d1, .. } => {
                 let pos = blocks.ensure(&view, row_id, row, geom.block_of(low));
                 let off = geom.offset_in_block(low);
-                let d = if low & (1usize << target) != 0 { d1 } else { d0 };
+                let d = if low & (1usize << target) != 0 {
+                    d1
+                } else {
+                    d0
+                };
                 let v = &mut blocks.entries[pos].1[off];
-                *v = *v * d;
+                *v *= d;
             }
             LinearOp::AntiDiag { a01, a10, .. } => {
                 let high = pattern.partner(low as u64) as usize;
@@ -158,7 +200,7 @@ pub fn exec_linear_partition(view: ExecView<'_>, pid: PartId, ranks: std::ops::R
     // Publish: tasks of one partition touch disjoint blocks, so these
     // publications never collide.
     for (b, buf) in blocks.entries {
-        row.vector.publish(b, std::sync::Arc::new(buf));
+        view.publish(row_id, row, b, std::sync::Arc::new(buf));
     }
 }
 
@@ -222,5 +264,5 @@ pub fn exec_mxv_partition(view: ExecView<'_>, pid: PartId) {
         }
         *out_v = acc;
     }
-    row.vector.publish(block, std::sync::Arc::new(out));
+    view.publish(row_id, row, block, std::sync::Arc::new(out));
 }

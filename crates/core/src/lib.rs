@@ -33,10 +33,12 @@ pub mod cow;
 pub mod dump;
 pub mod engine;
 pub mod exec;
+pub mod owners;
 pub mod pgraph;
 pub mod queries;
 pub mod row;
 
-pub use config::{RowOrderPolicy, SimConfig};
+pub use config::{ResolvePolicy, RowOrderPolicy, SimConfig};
 pub use engine::{Ckt, UpdateReport};
+pub use owners::OwnerIndex;
 pub use row::{PartId, RowId};

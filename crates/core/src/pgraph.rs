@@ -26,12 +26,6 @@ impl Ckt {
         }
     }
 
-    /// Removes edge `a → b` if present.
-    pub(crate) fn remove_edge(&mut self, a: PartId, b: PartId) {
-        self.parts[a.key()].succs.retain(|s| *s != b);
-        self.parts[b.key()].preds.retain(|p| *p != a);
-    }
-
     /// Links a freshly created partition into the graph: backward
     /// coverage scan for predecessors, forward for successors.
     ///
@@ -132,6 +126,22 @@ impl Ckt {
     /// scan for every successor, which restores the nearest-writer
     /// invariant exactly.
     pub(crate) fn remove_row(&mut self, row_id: RowId) {
+        // Strip the row's blocks from the owner index while its order
+        // label is still readable (the index is sorted by label). A row
+        // can only own blocks inside its partitions' spans, so scan
+        // those, not the whole state.
+        for pid in &self.rows[row_id.key()].parts {
+            let spec = &self.parts[pid.key()].spec;
+            for b in spec.block_lo as usize..=spec.block_hi as usize {
+                if self.rows[row_id.key()].vector.owns(b) {
+                    self.owners.remove(b, row_id, |r| {
+                        self.rows
+                            .order_label(r.key())
+                            .expect("owner index holds only live rows")
+                    });
+                }
+            }
+        }
         let row = self
             .rows
             .remove(row_id.key())

@@ -9,6 +9,10 @@ use crate::cow::Resolved;
 use crate::engine::Ckt;
 use qtask_num::Complex64;
 
+/// One [`Ckt::debug_partitions`] entry:
+/// `(label, block_lo, block_hi, preds, succs, in_frontier)`.
+pub type PartitionDebug = (String, u32, u32, Vec<usize>, Vec<usize>, bool);
+
 /// Memory accounting snapshot (the engine-side view of Table III's `mem`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
@@ -23,23 +27,46 @@ pub struct MemStats {
 }
 
 impl Ckt {
-    /// Resolves block `b` of the final state.
+    /// Resolves block `b` of the final state: the last owner of `b` in
+    /// row order. O(log owners) with the owner index (a reader "after
+    /// every row"), O(rows) under [`crate::ResolvePolicy::ChainWalk`].
     fn resolve_final(&self, b: usize) -> Resolved {
-        let mut cur = self.rows.tail();
-        while let Some(k) = cur {
-            if let Some(data) = self.rows[k].vector.owned(b) {
-                return Resolved::Data(data);
+        match self.config.resolve {
+            crate::config::ResolvePolicy::OwnerIndex => {
+                let label_of = |r: crate::row::RowId| {
+                    self.rows
+                        .order_label(r.key())
+                        .expect("owner index holds only live rows")
+                };
+                self.owners
+                    .resolve_before(
+                        b,
+                        u64::MAX,
+                        label_of,
+                        |r| self.rows[r.key()].vector.owned(b),
+                        &self.resolve_stats,
+                    )
+                    .map_or(Resolved::Initial, Resolved::Data)
             }
-            cur = self.rows.prev(k);
+            crate::config::ResolvePolicy::ChainWalk => {
+                let mut cur = self.rows.tail();
+                while let Some(k) = cur {
+                    if let Some(data) = self.rows[k].vector.owned(b) {
+                        return Resolved::Data(data);
+                    }
+                    cur = self.rows.prev(k);
+                }
+                Resolved::Initial
+            }
         }
-        Resolved::Initial
     }
 
     /// The amplitude of basis state `idx`.
     pub fn amplitude(&self, idx: usize) -> Complex64 {
         assert!(idx < self.geom.state_len(), "basis index out of range");
         let b = self.geom.block_of(idx);
-        self.resolve_final(b).read(b, self.geom.offset_in_block(idx))
+        self.resolve_final(b)
+            .read(b, self.geom.offset_in_block(idx))
     }
 
     /// The probability of basis state `idx`.
@@ -107,9 +134,7 @@ impl Ckt {
     /// Debug introspection: every partition as
     /// `(label, block_lo, block_hi, preds, succs, in_frontier)`, in row
     /// order. For tests and diagnostics.
-    pub fn debug_partitions(
-        &self,
-    ) -> Vec<(String, u32, u32, Vec<usize>, Vec<usize>, bool)> {
+    pub fn debug_partitions(&self) -> Vec<PartitionDebug> {
         let mut out = Vec::new();
         for k in self.rows.keys() {
             let row = &self.rows[k];

@@ -312,7 +312,10 @@ fn random_gate(rng: &mut StdRng, n: u8) -> (GateKind, Vec<u8>) {
         5 => (GateKind::Ry(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
         6 => (GateKind::Cx, vec![qubits[0], qubits[1]]),
         7 => (GateKind::Cz, vec![qubits[0], qubits[1]]),
-        8 => (GateKind::Cp(rng.random_range(-3.0..3.0)), vec![qubits[0], qubits[1]]),
+        8 => (
+            GateKind::Cp(rng.random_range(-3.0..3.0)),
+            vec![qubits[0], qubits[1]],
+        ),
         9 => (GateKind::Swap, vec![qubits[0], qubits[1]]),
         10 if n >= 3 => (GateKind::Ccx, vec![qubits[0], qubits[1], qubits[2]]),
         _ => (GateKind::S, vec![qubits[0]]),
@@ -351,12 +354,19 @@ fn random_modifier_storm_matches_oracle() {
             }
             ckt.validate_graph()
                 .unwrap_or_else(|e| panic!("trial {trial} step {step}: {e}"));
+            ckt.validate_owner_index()
+                .unwrap_or_else(|e| panic!("trial {trial} step {step}: owner index: {e}"));
             if rng.random_bool(0.3) {
                 ckt.update_state();
+                ckt.validate_owner_index()
+                    .unwrap_or_else(|e| panic!("trial {trial} step {step}: post-update: {e}"));
             }
         }
         ckt.update_state();
-        assert_matches_oracle(&ckt, &format!("storm trial {trial} (n={n}, B={block_size})"));
+        assert_matches_oracle(
+            &ckt,
+            &format!("storm trial {trial} (n={n}, B={block_size})"),
+        );
     }
 }
 
@@ -407,4 +417,99 @@ fn insert_into_middle_net_after_update() {
     ckt.validate_graph().unwrap();
     ckt.update_state();
     assert_matches_oracle(&ckt, "mid-chain dense insertion");
+}
+
+/// Builds a depth-`depth` phase-gate chain on the top qubit, one gate per
+/// net. T touches only the target=1 half of the state, so every chain row
+/// owns only the top-half blocks — a read of a bottom-half block from the
+/// chain's tail must look past the entire chain, which is exactly the
+/// depth-proportional pattern the owner index collapses.
+fn phase_chain(depth: usize, resolve: qtask_core::ResolvePolicy) -> Ckt {
+    let mut cfg = SimConfig::with_block_size(4);
+    cfg.num_threads = 2;
+    cfg.resolve = resolve;
+    let mut ckt = Ckt::with_config(4, cfg);
+    for _ in 0..depth {
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::T, net, &[3]).unwrap();
+    }
+    ckt
+}
+
+#[test]
+fn resolve_policies_agree_and_index_probes_stay_flat() {
+    use qtask_core::ResolvePolicy;
+    // Same circuit under both policies: identical states, and after a
+    // one-gate incremental update the owner index must spend
+    // asymptotically fewer probes per resolution than the chain walk.
+    let mut reports = Vec::new();
+    let mut states = Vec::new();
+    for policy in [ResolvePolicy::OwnerIndex, ResolvePolicy::ChainWalk] {
+        let mut ckt = phase_chain(512, policy);
+        ckt.update_state();
+        // One trailing X(q0): touches every block, so its task reads the
+        // bottom-half blocks that no chain row owns.
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::X, net, &[0]).unwrap();
+        let report = ckt.update_state();
+        assert!(report.blocks_resolved > 0, "{policy:?} resolved no blocks");
+        states.push(ckt.state());
+        reports.push(report);
+        assert_matches_oracle(&ckt, &format!("depth-512 chain, {policy:?}"));
+    }
+    assert!(
+        vecops::approx_eq(&states[0], &states[1], 1e-9),
+        "policies disagree by {}",
+        vecops::max_abs_diff(&states[0], &states[1])
+    );
+    let probes_per_block =
+        |r: &qtask_core::UpdateReport| r.owner_probes as f64 / r.blocks_resolved as f64;
+    let (index_cost, walk_cost) = (probes_per_block(&reports[0]), probes_per_block(&reports[1]));
+    // The chain walk visits O(depth) rows per resolution at the tail of a
+    // depth-512 chain; the index needs ~log2(owners) probes.
+    assert!(
+        walk_cost > 20.0 * index_cost,
+        "expected depth-proportional walk cost, got index={index_cost:.1} walk={walk_cost:.1}"
+    );
+    assert!(
+        index_cost < 16.0,
+        "owner-index probes must stay logarithmic, got {index_cost:.1}"
+    );
+}
+
+#[test]
+fn owner_index_probe_cost_is_depth_independent() {
+    // Doubling the depth must not grow the per-resolution probe cost of
+    // the incremental update (the O(d) → O(log) claim, asymptotically).
+    let mut costs = Vec::new();
+    for depth in [128usize, 512] {
+        let mut ckt = phase_chain(depth, qtask_core::ResolvePolicy::OwnerIndex);
+        ckt.update_state();
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::X, net, &[0]).unwrap();
+        let report = ckt.update_state();
+        costs.push(report.owner_probes as f64 / report.blocks_resolved.max(1) as f64);
+    }
+    assert!(
+        costs[1] <= costs[0] * 1.5 + 2.0,
+        "probe cost grew with depth: {costs:?}"
+    );
+}
+
+#[test]
+fn owner_index_consistent_after_removal_storm_on_deep_chain() {
+    // Remove every third gate of a deep chain (no update in between),
+    // then update: the index must match ground truth and the state the
+    // oracle.
+    let mut ckt = phase_chain(120, qtask_core::ResolvePolicy::OwnerIndex);
+    ckt.update_state();
+    let gates: Vec<qtask_circuit::GateId> =
+        ckt.circuit().ordered_gates().map(|(gid, _)| gid).collect();
+    for gid in gates.iter().step_by(3) {
+        ckt.remove_gate(*gid).unwrap();
+        ckt.validate_owner_index().unwrap();
+    }
+    ckt.update_state();
+    ckt.validate_owner_index().unwrap();
+    assert_matches_oracle(&ckt, "post-removal deep chain");
 }

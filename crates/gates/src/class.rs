@@ -94,10 +94,7 @@ mod tests {
 
     #[test]
     fn classify_standard_gates() {
-        assert_eq!(
-            GateClass::of_matrix(&Mat2::IDENTITY),
-            GateClass::Identity
-        );
+        assert_eq!(GateClass::of_matrix(&Mat2::IDENTITY), GateClass::Identity);
         match GateClass::of_matrix(&matrices::z()) {
             GateClass::Diagonal { d0, d1 } => {
                 assert!(d0.is_one(1e-12));

@@ -5,17 +5,32 @@ use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
 
 /// Pauli-X.
 pub fn x() -> Mat2 {
-    Mat2::new(Complex64::ZERO, Complex64::ONE, Complex64::ONE, Complex64::ZERO)
+    Mat2::new(
+        Complex64::ZERO,
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::ZERO,
+    )
 }
 
 /// Pauli-Y.
 pub fn y() -> Mat2 {
-    Mat2::new(Complex64::ZERO, -Complex64::I, Complex64::I, Complex64::ZERO)
+    Mat2::new(
+        Complex64::ZERO,
+        -Complex64::I,
+        Complex64::I,
+        Complex64::ZERO,
+    )
 }
 
 /// Pauli-Z.
 pub fn z() -> Mat2 {
-    Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, -Complex64::ONE)
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        -Complex64::ONE,
+    )
 }
 
 /// Hadamard.
@@ -30,12 +45,22 @@ pub fn h() -> Mat2 {
 
 /// S = sqrt(Z) = diag(1, i).
 pub fn s() -> Mat2 {
-    Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::I)
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::I,
+    )
 }
 
 /// S† = diag(1, -i).
 pub fn sdg() -> Mat2 {
-    Mat2::new(Complex64::ONE, Complex64::ZERO, Complex64::ZERO, -Complex64::I)
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        -Complex64::I,
+    )
 }
 
 /// T = sqrt(S) = diag(1, e^{iπ/4}).
@@ -160,7 +185,12 @@ mod tests {
         // RX(π) = −iX, RY(π) = −iY·i? RY(π) = [[0,−1],[1,0]].
         assert!(rx(PI).approx_eq(&x().scale(-Complex64::I), TOL));
         assert!(ry(PI).approx_eq(
-            &Mat2::new(Complex64::ZERO, -Complex64::ONE, Complex64::ONE, Complex64::ZERO),
+            &Mat2::new(
+                Complex64::ZERO,
+                -Complex64::ONE,
+                Complex64::ONE,
+                Complex64::ZERO
+            ),
             TOL
         ));
         // RZ(π) = diag(−i, i) = −i·Z.

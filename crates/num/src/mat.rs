@@ -15,12 +15,7 @@ impl Mat2 {
 
     /// Builds from rows.
     #[inline]
-    pub const fn new(
-        a: Complex64,
-        b: Complex64,
-        c: Complex64,
-        d: Complex64,
-    ) -> Mat2 {
+    pub const fn new(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Mat2 {
         Mat2([[a, b], [c, d]])
     }
 
@@ -54,7 +49,7 @@ impl Mat2 {
         let mut m = *self;
         for row in &mut m.0 {
             for v in row {
-                *v = *v * s;
+                *v *= s;
             }
         }
         m
@@ -190,12 +185,7 @@ mod tests {
     const TOL: f64 = 1e-12;
 
     fn hadamard() -> Mat2 {
-        mat2_real(
-            FRAC_1_SQRT_2,
-            FRAC_1_SQRT_2,
-            FRAC_1_SQRT_2,
-            -FRAC_1_SQRT_2,
-        )
+        mat2_real(FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2)
     }
 
     #[test]
@@ -242,9 +232,9 @@ mod tests {
         let a = p0.kron(&Mat2::IDENTITY);
         let b = p1.kron(&x);
         let mut sum = [[Complex64::ZERO; 4]; 4];
-        for r in 0..4 {
-            for c in 0..4 {
-                sum[r][c] = a.0[r][c] + b.0[r][c];
+        for (r, row) in sum.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = a.0[r][c] + b.0[r][c];
             }
         }
         assert!(Mat4(sum).approx_eq(&Mat4::cnot(), TOL));
@@ -256,8 +246,12 @@ mod tests {
         assert!(Mat4::cnot().is_unitary(TOL));
         assert!(Mat4::swap().is_unitary(TOL));
         // CNOT and SWAP are self-inverse.
-        assert!(Mat4::cnot().mul(&Mat4::cnot()).approx_eq(&Mat4::identity(), TOL));
-        assert!(Mat4::swap().mul(&Mat4::swap()).approx_eq(&Mat4::identity(), TOL));
+        assert!(Mat4::cnot()
+            .mul(&Mat4::cnot())
+            .approx_eq(&Mat4::identity(), TOL));
+        assert!(Mat4::swap()
+            .mul(&Mat4::swap())
+            .approx_eq(&Mat4::identity(), TOL));
     }
 
     #[test]

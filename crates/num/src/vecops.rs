@@ -88,12 +88,7 @@ mod tests {
 
     #[test]
     fn top_k_sorted_desc() {
-        let v = vec![
-            c64(0.1, 0.0),
-            c64(0.9, 0.0),
-            c64(0.0, 0.4),
-            Complex64::ZERO,
-        ];
+        let v = vec![c64(0.1, 0.0), c64(0.9, 0.0), c64(0.0, 0.4), Complex64::ZERO];
         let t = top_k(&v, 2);
         assert_eq!(t[0].0, 1);
         assert_eq!(t[1].0, 2);

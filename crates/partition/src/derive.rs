@@ -206,7 +206,9 @@ mod tests {
         };
         let parts = derive_partitions(&op.pattern(6), &geom);
         assert_eq!(parts.len(), 8);
-        assert!(parts.iter().all(|p| p.num_blocks() == 2 && p.num_items() == 4));
+        assert!(parts
+            .iter()
+            .all(|p| p.num_blocks() == 2 && p.num_items() == 4));
     }
 
     #[test]

@@ -16,7 +16,7 @@ impl BlockGeometry {
     /// the default 256).
     pub fn new(num_qubits: u8, block_size: usize) -> BlockGeometry {
         assert!(block_size.is_power_of_two(), "block size must be 2^k");
-        assert!(num_qubits >= 1 && num_qubits <= 30, "1..=30 qubits");
+        assert!((1..=30).contains(&num_qubits), "1..=30 qubits");
         let state_len = 1usize << num_qubits;
         let clamped = block_size.min(state_len);
         BlockGeometry {

@@ -45,15 +45,16 @@ pub fn dense_pattern(controls: u64, target: u8, n_qubits: u8) -> crate::pattern:
 }
 
 /// Applies a dense (superposing) single-target gate by butterfly update.
-pub fn apply_dense(
-    controls: u64,
-    target: u8,
-    mat: &Mat2,
-    n_qubits: u8,
-    state: &mut [Complex64],
-) {
+pub fn apply_dense(controls: u64, target: u8, mat: &Mat2, n_qubits: u8, state: &mut [Complex64]) {
     let pattern = dense_pattern(controls, target, n_qubits);
-    apply_dense_ranks(controls, target, mat, n_qubits, state, 0..pattern.num_items());
+    apply_dense_ranks(
+        controls,
+        target,
+        mat,
+        n_qubits,
+        state,
+        0..pattern.num_items(),
+    );
 }
 
 /// Applies a dense gate to the pair ranks in `ranks` only; disjoint rank

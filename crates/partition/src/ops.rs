@@ -119,11 +119,13 @@ impl LinearOp {
     #[inline]
     pub fn apply_item(&self, state: &mut [Complex64], low: usize, high: usize) {
         match *self {
-            LinearOp::Diag {
-                target, d0, d1, ..
-            } => {
-                let d = if low & (1usize << target) != 0 { d1 } else { d0 };
-                state[low] = state[low] * d;
+            LinearOp::Diag { target, d0, d1, .. } => {
+                let d = if low & (1usize << target) != 0 {
+                    d1
+                } else {
+                    d0
+                };
+                state[low] *= d;
             }
             LinearOp::AntiDiag { a01, a10, .. } => {
                 let (ai, aj) = (state[low], state[high]);

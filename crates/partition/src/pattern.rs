@@ -106,10 +106,7 @@ impl Iterator for LowIter {
         self.remaining -= 1;
         let low = self.pattern.base | self.scatter;
         // Ascending submask enumeration: next = (cur - mask) & mask.
-        self.scatter = self
-            .scatter
-            .wrapping_sub(self.pattern.free_mask)
-            & self.pattern.free_mask;
+        self.scatter = self.scatter.wrapping_sub(self.pattern.free_mask) & self.pattern.free_mask;
         Some(low)
     }
 
@@ -127,9 +124,7 @@ mod tests {
     fn brute_force_lows(p: &ItemPattern, n_qubits: u8) -> Vec<u64> {
         // All indices matching base on non-free bits, ascending.
         let all = 1u64 << n_qubits;
-        (0..all)
-            .filter(|i| i & !p.free_mask == p.base)
-            .collect()
+        (0..all).filter(|i| i & !p.free_mask == p.base).collect()
     }
 
     fn pattern(base: u64, free: u64, clear: u64, set: u64) -> ItemPattern {
@@ -166,7 +161,11 @@ mod tests {
             let brute = brute_force_lows(&p, 5);
             assert_eq!(p.num_items(), brute.len() as u64);
             for (k, want) in brute.iter().enumerate() {
-                assert_eq!(p.nth_low(k as u64), *want, "base={base:b} free={free:b} k={k}");
+                assert_eq!(
+                    p.nth_low(k as u64),
+                    *want,
+                    "base={base:b} free={free:b} k={k}"
+                );
             }
             let iterated: Vec<u64> = p.iter_lows(0..p.num_items()).collect();
             assert_eq!(iterated, brute);

@@ -153,11 +153,7 @@ mod tests {
 
     #[test]
     fn expr_eval() {
-        let e = Expr::Bin(
-            '/',
-            Box::new(Expr::Pi),
-            Box::new(Expr::Num(2.0)),
-        );
+        let e = Expr::Bin('/', Box::new(Expr::Pi), Box::new(Expr::Num(2.0)));
         let v = e.eval(&|_| None).unwrap();
         assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
         let e = Expr::Neg(Box::new(Expr::Param("theta".into())));

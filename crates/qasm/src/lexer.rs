@@ -80,9 +80,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, QasmError> {
             'a'..='z' | 'A'..='Z' | '_' => {
                 let (sl, sc) = (line, col);
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     advance(&mut i, &mut line, &mut col, 1, bytes);
                 }
                 let s = std::str::from_utf8(&bytes[start..i]).expect("ASCII ident");
@@ -115,16 +113,21 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, QasmError> {
                     }
                 }
                 let s = std::str::from_utf8(&bytes[start..i]).expect("ASCII number");
-                let tok = if saw_dot || saw_exp {
-                    Tok::Real(s.parse().map_err(|_| {
-                        QasmError::new(format!("bad real literal '{s}'"), sl, sc)
-                    })?)
-                } else {
-                    Tok::Int(s.parse().map_err(|_| {
-                        QasmError::new(format!("bad integer literal '{s}'"), sl, sc)
-                    })?)
-                };
-                out.push(Spanned { tok, line: sl, col: sc });
+                let tok =
+                    if saw_dot || saw_exp {
+                        Tok::Real(s.parse().map_err(|_| {
+                            QasmError::new(format!("bad real literal '{s}'"), sl, sc)
+                        })?)
+                    } else {
+                        Tok::Int(s.parse().map_err(|_| {
+                            QasmError::new(format!("bad integer literal '{s}'"), sl, sc)
+                        })?)
+                    };
+                out.push(Spanned {
+                    tok,
+                    line: sl,
+                    col: sc,
+                });
             }
             '-' if bytes.get(i + 1) == Some(&b'>') => {
                 out.push(Spanned {
@@ -197,7 +200,10 @@ mod tests {
     #[test]
     fn positions_track_lines() {
         let toks = lex("h q;\nx q;").unwrap();
-        let x = toks.iter().find(|t| t.tok == Tok::Ident("x".into())).unwrap();
+        let x = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("x".into()))
+            .unwrap();
         assert_eq!((x.line, x.col), (2, 1));
     }
 

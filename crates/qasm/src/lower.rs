@@ -23,11 +23,7 @@ pub fn parse_to_circuit(src: &str) -> Result<Circuit, QasmError> {
 pub fn lower(program: &Program) -> Result<Circuit, QasmError> {
     let n = program.num_qubits();
     if n == 0 || n > qtask_circuit::MAX_QUBITS as usize {
-        return Err(QasmError::new(
-            format!("unsupported qubit count {n}"),
-            0,
-            0,
-        ));
+        return Err(QasmError::new(format!("unsupported qubit count {n}"), 0, 0));
     }
     let mut builder = CircuitBuilder::new(n as u8);
     for op in &program.ops {
@@ -111,9 +107,9 @@ fn lower_op(
                     .map(|v| if v.len() == 1 { v[0] } else { v[rep] })
                     .collect();
                 if let Some(kind) = GateKind::from_qasm(name, &values) {
-                    builder.push(kind, &qubits).map_err(|e| {
-                        QasmError::new(format!("gate '{name}': {e}"), 0, 0)
-                    })?;
+                    builder
+                        .push(kind, &qubits)
+                        .map_err(|e| QasmError::new(format!("gate '{name}': {e}"), 0, 0))?;
                 } else if let Some(def) = program.gate_def(name) {
                     if def.params.len() != values.len() || def.qargs.len() != qubits.len() {
                         return Err(QasmError::new(
@@ -134,20 +130,19 @@ fn lower_op(
                         .cloned()
                         .zip(qubits.iter().copied())
                         .collect();
-                    let inner_params = move |p: &str| {
-                        params_owned
-                            .iter()
-                            .find(|(n, _)| n == p)
-                            .map(|(_, v)| *v)
-                    };
-                    let inner_qubits = move |q: &str| {
-                        qubits_owned
-                            .iter()
-                            .find(|(n, _)| n == q)
-                            .map(|(_, v)| *v)
-                    };
+                    let inner_params =
+                        move |p: &str| params_owned.iter().find(|(n, _)| n == p).map(|(_, v)| *v);
+                    let inner_qubits =
+                        move |q: &str| qubits_owned.iter().find(|(n, _)| n == q).map(|(_, v)| *v);
                     for inner in &def.body {
-                        lower_op(program, inner, builder, &inner_params, &inner_qubits, depth + 1)?;
+                        lower_op(
+                            program,
+                            inner,
+                            builder,
+                            &inner_params,
+                            &inner_qubits,
+                            depth + 1,
+                        )?;
                     }
                 } else {
                     return Err(QasmError::new(format!("unknown gate '{name}'"), 0, 0));
@@ -165,10 +160,8 @@ mod tests {
 
     #[test]
     fn lowers_ghz() {
-        let ckt = parse_to_circuit(
-            "OPENQASM 2.0; qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];",
-        )
-        .unwrap();
+        let ckt = parse_to_circuit("OPENQASM 2.0; qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];")
+            .unwrap();
         let s = CircuitStats::of(&ckt);
         assert_eq!(s.qubits, 3);
         assert_eq!(s.gates, 3);
@@ -224,10 +217,8 @@ mod tests {
 
     #[test]
     fn measure_and_creg_are_ignored() {
-        let ckt = parse_to_circuit(
-            "qreg q[2]; creg c[2]; h q[0]; measure q[0] -> c[0]; x q[1];",
-        )
-        .unwrap();
+        let ckt = parse_to_circuit("qreg q[2]; creg c[2]; h q[0]; measure q[0] -> c[0]; x q[1];")
+            .unwrap();
         assert_eq!(CircuitStats::of(&ckt).gates, 2);
     }
 

@@ -40,7 +40,9 @@ impl Parser {
 
     fn expect_sym(&mut self, c: char) -> Result<(), QasmError> {
         match self.bump() {
-            Some(Spanned { tok: Tok::Sym(s), .. }) if s == c => Ok(()),
+            Some(Spanned {
+                tok: Tok::Sym(s), ..
+            }) if s == c => Ok(()),
             other => Err(self.err(format!("expected '{c}', found {other:?}"))),
         }
     }
@@ -65,7 +67,9 @@ impl Parser {
 
     fn expect_int(&mut self) -> Result<usize, QasmError> {
         match self.bump() {
-            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(v as usize),
+            Some(Spanned {
+                tok: Tok::Int(v), ..
+            }) => Ok(v as usize),
             other => Err(self.err(format!("expected integer, found {other:?}"))),
         }
     }
@@ -85,7 +89,9 @@ impl Parser {
                     "include" => {
                         self.bump();
                         match self.bump() {
-                            Some(Spanned { tok: Tok::Str(s), .. }) => prog.includes.push(s),
+                            Some(Spanned {
+                                tok: Tok::Str(s), ..
+                            }) => prog.includes.push(s),
                             other => {
                                 return Err(self.err(format!("expected string, found {other:?}")))
                             }
@@ -116,9 +122,13 @@ impl Parser {
                     }
                     "opaque" => {
                         // Skip through the terminating semicolon.
-                        while !matches!(self.bump(), Some(Spanned { tok: Tok::Sym(';'), .. }) | None)
-                        {
-                        }
+                        while !matches!(
+                            self.bump(),
+                            Some(Spanned {
+                                tok: Tok::Sym(';'),
+                                ..
+                            }) | None
+                        ) {}
                     }
                     "if" => {
                         // `if (c == n) <op>;` — classical control; parse and
@@ -153,15 +163,13 @@ impl Parser {
         self.bump(); // 'gate'
         let name = self.expect_ident()?;
         let mut params = Vec::new();
-        if self.eat_sym('(') {
-            if !self.eat_sym(')') {
-                loop {
-                    params.push(self.expect_ident()?);
-                    if self.eat_sym(')') {
-                        break;
-                    }
-                    self.expect_sym(',')?;
+        if self.eat_sym('(') && !self.eat_sym(')') {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_sym(')') {
+                    break;
                 }
+                self.expect_sym(',')?;
             }
         }
         let mut qargs = vec![self.expect_ident()?];
@@ -204,7 +212,9 @@ impl Parser {
             "measure" => {
                 let q = self.parse_arg()?;
                 match self.bump() {
-                    Some(Spanned { tok: Tok::Arrow, .. }) => {}
+                    Some(Spanned {
+                        tok: Tok::Arrow, ..
+                    }) => {}
                     other => return Err(self.err(format!("expected '->', found {other:?}"))),
                 }
                 let c = self.parse_arg()?;
@@ -218,15 +228,13 @@ impl Parser {
             }
             _ => {
                 let mut params = Vec::new();
-                if self.eat_sym('(') {
-                    if !self.eat_sym(')') {
-                        loop {
-                            params.push(self.parse_expr()?);
-                            if self.eat_sym(')') {
-                                break;
-                            }
-                            self.expect_sym(',')?;
+                if self.eat_sym('(') && !self.eat_sym(')') {
+                    loop {
+                        params.push(self.parse_expr()?);
+                        if self.eat_sym(')') {
+                            break;
                         }
+                        self.expect_sym(',')?;
                     }
                 }
                 let mut qargs = vec![self.parse_arg()?];
@@ -308,9 +316,15 @@ impl Parser {
 
     fn parse_atom(&mut self) -> Result<Expr, QasmError> {
         match self.bump() {
-            Some(Spanned { tok: Tok::Real(v), .. }) => Ok(Expr::Num(v)),
-            Some(Spanned { tok: Tok::Int(v), .. }) => Ok(Expr::Num(v as f64)),
-            Some(Spanned { tok: Tok::Sym('('), .. }) => {
+            Some(Spanned {
+                tok: Tok::Real(v), ..
+            }) => Ok(Expr::Num(v)),
+            Some(Spanned {
+                tok: Tok::Int(v), ..
+            }) => Ok(Expr::Num(v as f64)),
+            Some(Spanned {
+                tok: Tok::Sym('('), ..
+            }) => {
                 let e = self.parse_expr()?;
                 self.expect_sym(')')?;
                 Ok(e)
@@ -340,10 +354,12 @@ mod tests {
 
     #[test]
     fn parses_minimal_program() {
-        let p = Parser::new("OPENQASM 2.0; include \"qelib1.inc\"; qreg q[3]; creg c[3]; h q[0]; cx q[0],q[1];")
-            .unwrap()
-            .parse_program()
-            .unwrap();
+        let p = Parser::new(
+            "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[3]; creg c[3]; h q[0]; cx q[0],q[1];",
+        )
+        .unwrap()
+        .parse_program()
+        .unwrap();
         assert_eq!(p.qregs, vec![("q".into(), 3)]);
         assert_eq!(p.cregs, vec![("c".into(), 3)]);
         assert_eq!(p.ops.len(), 2);
@@ -380,7 +396,8 @@ mod tests {
 
     #[test]
     fn parses_parameterized_gate_def() {
-        let src = "gate zz(theta) a,b { cx a,b; rz(theta) b; cx a,b; } qreg q[2]; zz(0.5) q[0],q[1];";
+        let src =
+            "gate zz(theta) a,b { cx a,b; rz(theta) b; cx a,b; } qreg q[2]; zz(0.5) q[0],q[1];";
         let p = Parser::new(src).unwrap().parse_program().unwrap();
         assert_eq!(p.gate_defs[0].params, vec!["theta"]);
     }
@@ -396,10 +413,7 @@ mod tests {
 
     #[test]
     fn error_on_missing_semicolon() {
-        assert!(Parser::new("qreg q[2]")
-            .unwrap()
-            .parse_program()
-            .is_err());
+        assert!(Parser::new("qreg q[2]").unwrap().parse_program().is_err());
     }
 
     #[test]

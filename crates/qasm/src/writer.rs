@@ -23,8 +23,7 @@ pub fn circuit_to_qasm(circuit: &Circuit) -> String {
             if params.is_empty() {
                 let _ = write!(out, "{}", kind.qasm_name());
             } else {
-                let rendered: Vec<String> =
-                    params.iter().map(|p| format!("{p:.17}")).collect();
+                let rendered: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
                 let _ = write!(out, "{}({})", kind.qasm_name(), rendered.join(","));
             }
             let args: Vec<String> = gate.qubits().iter().map(|q| format!("q[{q}]")).collect();
@@ -92,7 +91,7 @@ mod tests {
     #[test]
     fn parameters_survive_round_trip_exactly() {
         let mut b = CircuitBuilder::new(1);
-        let theta = 0.1234567890123456789;
+        let theta = 0.123_456_789_012_345_68;
         b.rz(theta, 0);
         let back = parse_to_circuit(&circuit_to_qasm(&b.finish())).unwrap();
         let (_, g) = back.ordered_gates().next().unwrap();

@@ -42,6 +42,16 @@ impl<'env> Taskflow<'env> {
         }
     }
 
+    /// Creates an empty graph with room for `cap` tasks — callers that
+    /// rebuild a similar graph every round pass the previous round's
+    /// [`Taskflow::len`] to allocate the node storage once.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
+        Taskflow {
+            name: name.into(),
+            nodes: Vec::with_capacity(cap),
+        }
+    }
+
     /// Graph name (shown in DOT dumps).
     pub fn name(&self) -> &str {
         &self.name

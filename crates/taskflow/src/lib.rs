@@ -39,7 +39,7 @@ pub mod graph;
 pub mod observer;
 
 pub use executor::Executor;
-pub use graph::{Subflow, SubTaskRef, TaskRef, Taskflow};
+pub use graph::{SubTaskRef, Subflow, TaskRef, Taskflow};
 pub use observer::{ExecEvent, Observer};
 
 /// A sensible default worker count: the machine's available parallelism.

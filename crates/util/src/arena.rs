@@ -39,8 +39,14 @@ impl std::fmt::Debug for Key {
 #[derive(Clone)]
 enum Slot<T> {
     /// `next_free` forms an intrusive free list terminated by `u32::MAX`.
-    Free { next_free: u32, generation: u32 },
-    Occupied { value: T, generation: u32 },
+    Free {
+        next_free: u32,
+        generation: u32,
+    },
+    Occupied {
+        value: T,
+        generation: u32,
+    },
 }
 
 /// A generational arena with O(1) insert, remove and lookup.

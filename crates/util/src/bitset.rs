@@ -174,6 +174,9 @@ mod tests {
             }
         }
         assert_eq!(s.count(), model.len());
-        assert_eq!(s.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            model.into_iter().collect::<Vec<_>>()
+        );
     }
 }

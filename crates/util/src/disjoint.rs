@@ -83,11 +83,7 @@ impl<'a, T> DisjointSlice<'a, T> {
 
 impl<T> Clone for DisjointSlice<'_, T> {
     fn clone(&self) -> Self {
-        DisjointSlice {
-            ptr: self.ptr,
-            len: self.len,
-            _marker: PhantomData,
-        }
+        *self
     }
 }
 impl<T> Copy for DisjointSlice<'_, T> {}

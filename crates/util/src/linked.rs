@@ -5,22 +5,46 @@
 //! Dependency scans walk these orders backward and forward from an
 //! arbitrary element. `LinkedArena` gives stable keys, O(1)
 //! insert-before/after/front/back, O(1) remove, and O(1) neighbour lookup.
+//!
+//! # Order labels
+//!
+//! Every element additionally carries an **order label**: a `u64` such
+//! that `label(a) < label(b)` iff `a` precedes `b` in the list (the
+//! classic order-maintenance problem). Labels let two arbitrary keys be
+//! order-compared in O(1) without walking the list, which is what makes
+//! the engine's owner-index block resolution a binary search instead of a
+//! row walk. Labels are assigned with power-of-two gaps and the midpoint
+//! rule on insertion; when a gap is exhausted the whole list is relabeled
+//! evenly (amortized O(1) per insertion for the gap sizes used here, and
+//! vanishingly rare at qTask's row counts). **A relabel changes labels
+//! but never relative order**, so any structure sorted by label stays
+//! sorted — holders must simply re-read labels through
+//! [`LinkedArena::order_label`] rather than caching them across
+//! mutations.
 
 use crate::arena::{Arena, Key};
+
+/// Initial spacing between adjacent labels; each mid-insertion halves the
+/// local gap, so ~32 consecutive same-spot insertions trigger one relabel.
+const LABEL_GAP: u64 = 1 << 32;
 
 #[derive(Clone)]
 struct Node<T> {
     value: T,
     prev: Option<Key>,
     next: Option<Key>,
+    label: u64,
 }
 
-/// A doubly-linked list with stable generational keys.
+/// A doubly-linked list with stable generational keys and O(1)
+/// order-comparison labels.
 #[derive(Clone)]
 pub struct LinkedArena<T> {
     nodes: Arena<Node<T>>,
     head: Option<Key>,
     tail: Option<Key>,
+    /// Number of whole-list relabel passes performed (diagnostics).
+    relabels: u64,
 }
 
 impl<T> Default for LinkedArena<T> {
@@ -36,6 +60,77 @@ impl<T> LinkedArena<T> {
             nodes: Arena::new(),
             head: None,
             tail: None,
+            relabels: 0,
+        }
+    }
+
+    /// The element's order label: `order_label(a) < order_label(b)` iff
+    /// `a` precedes `b`. Valid until the next list mutation (a relabel
+    /// may change values, never relative order).
+    #[inline]
+    pub fn order_label(&self, key: Key) -> Option<u64> {
+        self.nodes.get(key).map(|n| n.label)
+    }
+
+    /// True if `a` precedes `b` in the list. O(1).
+    ///
+    /// # Panics
+    /// Panics if either key is stale.
+    #[inline]
+    pub fn is_before(&self, a: Key, b: Key) -> bool {
+        self.order_label(a).expect("stale key in is_before")
+            < self.order_label(b).expect("stale key in is_before")
+    }
+
+    /// Number of whole-list relabel passes so far (diagnostics/tests).
+    #[inline]
+    pub fn relabel_count(&self) -> u64 {
+        self.relabels
+    }
+
+    /// Label for an element inserted between labels `lo` (exclusive,
+    /// `None` = front) and `hi` (exclusive, `None` = back), relabeling
+    /// the whole list first if the gap is exhausted. Called *before* the
+    /// new node is linked in.
+    fn make_label_between(&mut self, lo: Option<Key>, hi: Option<Key>) -> u64 {
+        if let Some(label) = self.try_label_between(lo, hi) {
+            return label;
+        }
+        self.relabel_evenly();
+        self.try_label_between(lo, hi)
+            .expect("fresh relabel always leaves room")
+    }
+
+    fn try_label_between(&self, lo: Option<Key>, hi: Option<Key>) -> Option<u64> {
+        let lo_label = lo.map(|k| self.nodes[k].label);
+        let hi_label = hi.map(|k| self.nodes[k].label);
+        match (lo_label, hi_label) {
+            (None, None) => Some(u64::MAX / 2),
+            (Some(a), None) => a.checked_add(LABEL_GAP).or_else(|| {
+                let room = u64::MAX - a;
+                (room >= 2).then(|| a + room / 2)
+            }),
+            (None, Some(b)) => b.checked_sub(LABEL_GAP).or((b >= 2).then_some(b / 2)),
+            (Some(a), Some(b)) => {
+                debug_assert!(a < b, "labels out of order");
+                (b - a >= 2).then(|| a + (b - a) / 2)
+            }
+        }
+    }
+
+    /// Respaces all labels evenly across the u64 range, preserving order.
+    fn relabel_evenly(&mut self) {
+        self.relabels += 1;
+        let n = self.nodes.len() as u64;
+        debug_assert!(n > 0, "relabel of an empty list");
+        // Stride leaves LABEL_GAP headroom at both ends when possible.
+        let stride = ((u64::MAX - 2 * LABEL_GAP.min(u64::MAX / 4)) / (n + 1)).max(1);
+        let mut label = stride;
+        let mut cur = self.head;
+        while let Some(k) = cur {
+            self.nodes[k].label = label;
+            label = label.saturating_add(stride);
+            cur = self.nodes[k].next;
         }
     }
 
@@ -95,10 +190,12 @@ impl<T> LinkedArena<T> {
 
     /// Inserts at the front, returning the new key.
     pub fn push_front(&mut self, value: T) -> Key {
+        let label = self.make_label_between(None, self.head);
         let key = self.nodes.insert(Node {
             value,
             prev: None,
             next: self.head,
+            label,
         });
         match self.head {
             Some(old) => self.nodes[old].prev = Some(key),
@@ -110,10 +207,12 @@ impl<T> LinkedArena<T> {
 
     /// Inserts at the back, returning the new key.
     pub fn push_back(&mut self, value: T) -> Key {
+        let label = self.make_label_between(self.tail, None);
         let key = self.nodes.insert(Node {
             value,
             prev: self.tail,
             next: None,
+            label,
         });
         match self.tail {
             Some(old) => self.nodes[old].next = Some(key),
@@ -130,10 +229,12 @@ impl<T> LinkedArena<T> {
     pub fn insert_after(&mut self, after: Key, value: T) -> Key {
         assert!(self.nodes.contains(after), "insert_after on stale key");
         let next = self.nodes[after].next;
+        let label = self.make_label_between(Some(after), next);
         let key = self.nodes.insert(Node {
             value,
             prev: Some(after),
             next,
+            label,
         });
         self.nodes[after].next = Some(key);
         match next {
@@ -310,6 +411,110 @@ mod tests {
         let b = l.push_front(20);
         assert_eq!(l.position(b), Some(0));
         assert_eq!(l.position(a), Some(1));
+    }
+
+    fn assert_labels_strictly_ascending<T>(l: &LinkedArena<T>) {
+        let labels: Vec<u64> = l.keys().map(|k| l.order_label(k).unwrap()).collect();
+        for w in labels.windows(2) {
+            assert!(w[0] < w[1], "labels not ascending: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn order_labels_reflect_order() {
+        let mut l = LinkedArena::new();
+        let b = l.push_back(2);
+        let a = l.push_front(1);
+        let c = l.insert_after(b, 3);
+        let ab = l.insert_after(a, 15);
+        assert!(l.is_before(a, ab));
+        assert!(l.is_before(ab, b));
+        assert!(l.is_before(b, c));
+        assert!(!l.is_before(c, a));
+        assert_labels_strictly_ascending(&l);
+        assert_eq!(l.order_label(Key::DANGLING), None);
+    }
+
+    #[test]
+    fn labels_survive_removal() {
+        let mut l = LinkedArena::new();
+        let ks: Vec<Key> = (0..10).map(|i| l.push_back(i)).collect();
+        l.remove(ks[4]);
+        l.remove(ks[0]);
+        l.remove(ks[9]);
+        assert_labels_strictly_ascending(&l);
+        assert!(l.is_before(ks[1], ks[8]));
+        assert_eq!(l.order_label(ks[4]), None);
+    }
+
+    #[test]
+    fn same_spot_insertions_trigger_relabel_and_keep_order() {
+        let mut l = LinkedArena::new();
+        let first = l.push_back(0);
+        let last = l.push_back(1_000_000);
+        // Hammer the same gap: each midpoint insertion halves it, forcing
+        // at least one whole-list relabel well before 200 insertions.
+        let mut cur = first;
+        for i in 1..=200 {
+            cur = l.insert_after(cur, i);
+        }
+        assert!(l.relabel_count() > 0, "gap exhaustion must relabel");
+        assert_labels_strictly_ascending(&l);
+        assert!(l.is_before(first, cur));
+        assert!(l.is_before(cur, last));
+        let values: Vec<i32> = l.iter().map(|(_, v)| *v).collect();
+        let mut expect: Vec<i32> = (0..=200).collect();
+        expect.push(1_000_000);
+        assert_eq!(values, expect);
+    }
+
+    #[test]
+    fn front_insertions_exhaust_downward() {
+        let mut l = LinkedArena::new();
+        l.push_back(0);
+        for i in 1..200 {
+            l.push_front(i);
+        }
+        assert_labels_strictly_ascending(&l);
+        let got: Vec<i32> = l.iter().map(|(_, v)| *v).collect();
+        let mut want: Vec<i32> = (1..200).rev().collect();
+        want.push(0);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn model_check_labels_against_positions() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut l = LinkedArena::new();
+        let mut model: Vec<Key> = Vec::new();
+        for step in 0..3_000u32 {
+            match rng.random_range(0..5) {
+                0 => model.insert(0, l.push_front(step)),
+                1 => model.push(l.push_back(step)),
+                2 if !model.is_empty() => {
+                    let i = rng.random_range(0..model.len());
+                    model.insert(i + 1, l.insert_after(model[i], step));
+                }
+                3 if !model.is_empty() => {
+                    let i = rng.random_range(0..model.len());
+                    model.insert(i, l.insert_before(model[i], step));
+                }
+                4 if !model.is_empty() => {
+                    let i = rng.random_range(0..model.len());
+                    l.remove(model.remove(i));
+                }
+                _ => {}
+            }
+            // Labels must agree with list positions at every step.
+            if step % 100 == 0 {
+                assert_labels_strictly_ascending(&l);
+            }
+        }
+        assert_labels_strictly_ascending(&l);
+        for pair in model.windows(2) {
+            assert!(l.is_before(pair[0], pair[1]));
+        }
     }
 
     #[test]

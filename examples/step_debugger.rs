@@ -25,10 +25,7 @@ fn main() {
         std::process::exit(1);
     });
     let n = circuit.num_qubits();
-    println!(
-        "stepping '{name}' ({}):",
-        CircuitStats::of(&circuit)
-    );
+    println!("stepping '{name}' ({}):", CircuitStats::of(&circuit));
 
     let mut ckt = Ckt::new(n);
     for (level, (_, net)) in circuit.nets().enumerate() {

@@ -32,9 +32,7 @@ fn main() {
     for _ in 0..QUBITS - 1 {
         ladder_nets.push(ckt.insert_net_after(*ladder_nets.last().unwrap()).unwrap());
     }
-    let net_back = ckt
-        .insert_net_after(*ladder_nets.last().unwrap())
-        .unwrap();
+    let net_back = ckt.insert_net_after(*ladder_nets.last().unwrap()).unwrap();
 
     let mut front_gates = Vec::new();
     let mut back_gates = Vec::new();
@@ -79,9 +77,7 @@ fn main() {
         let idx = q as usize;
         // Apply the modifier pair: remove old rotation, insert new one.
         ckt.remove_gate(gates[idx]).unwrap();
-        let new_gate = ckt
-            .insert_gate(GateKind::Ry(new_angle), net, &[q])
-            .unwrap();
+        let new_gate = ckt.insert_gate(GateKind::Ry(new_angle), net, &[q]).unwrap();
         let report = ckt.update_state(); // incremental!
         partitions_total += report.partitions_executed;
         let p = ckt.probability(TARGET);

@@ -56,7 +56,7 @@ pub use qtask_taskflow as taskflow;
 pub mod prelude {
     pub use qtask_baselines::{NaiveSim, QiskitLike, QulacsLike, Simulator};
     pub use qtask_circuit::{Circuit, CircuitBuilder, CircuitStats, Gate, GateId, NetId};
-    pub use qtask_core::{Ckt, RowOrderPolicy, SimConfig, UpdateReport};
+    pub use qtask_core::{Ckt, ResolvePolicy, RowOrderPolicy, SimConfig, UpdateReport};
     pub use qtask_gates::{GateClass, GateKind};
     pub use qtask_num::{c64, Complex64};
     pub use qtask_taskflow::{Executor, Taskflow};

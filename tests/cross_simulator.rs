@@ -17,8 +17,10 @@ fn load<S: Simulator>(sim: &mut S, circuit: &Circuit) {
 }
 
 fn qtask_state(circuit: &Circuit, block_size: usize) -> Vec<Complex64> {
-    let mut ckt =
-        qtask::core::Ckt::from_circuit(circuit, qtask::core::SimConfig::with_block_size(block_size));
+    let mut ckt = qtask::core::Ckt::from_circuit(
+        circuit,
+        qtask::core::SimConfig::with_block_size(block_size),
+    );
     ckt.update_state();
     ckt.state()
 }
@@ -89,7 +91,9 @@ fn incremental_protocol_agrees_with_full_rebuild() {
         let dst = level_by_level.push_net();
         for gid in net.gates() {
             let g = circuit.gate(*gid).unwrap();
-            level_by_level.insert_gate(g.kind(), dst, g.qubits()).unwrap();
+            level_by_level
+                .insert_gate(g.kind(), dst, g.qubits())
+                .unwrap();
         }
         level_by_level.update_state();
     }

@@ -1,0 +1,152 @@
+//! Deep-circuit stress test for owner-index maintenance (ISSUE 1).
+//!
+//! Builds ~300 rows across several nets, then interleaves
+//! `insert_gate`/`remove_gate`/`update_state` while mirroring every
+//! modifier into the serial [`qtask_baselines::NaiveSim`] oracle. After
+//! every update both simulators must agree amplitude-for-amplitude, and
+//! the owner index must match the ground truth of the row vectors — the
+//! removal path is where a stale index would silently corrupt reads, so
+//! removals are weighted heavily and often batched without intervening
+//! updates.
+
+use qtask::prelude::*;
+use qtask_baselines::NaiveSim;
+use qtask_core::ResolvePolicy;
+use qtask_num::vecops;
+use rand::prelude::*;
+
+const NUM_QUBITS: u8 = 5;
+
+fn random_gate(rng: &mut StdRng) -> (GateKind, Vec<u8>) {
+    let mut qubits: Vec<u8> = (0..NUM_QUBITS).collect();
+    qubits.shuffle(rng);
+    match rng.random_range(0..14u32) {
+        0 => (GateKind::H, vec![qubits[0]]),
+        1 => (GateKind::X, vec![qubits[0]]),
+        2 => (GateKind::Y, vec![qubits[0]]),
+        // Phase gates own only the target=1 half of the blocks: they are
+        // the rows that create long-distance resolutions.
+        3 | 4 => (GateKind::T, vec![qubits[0]]),
+        5 => (GateKind::S, vec![qubits[0]]),
+        6 => (GateKind::Rz(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        7 => (GateKind::Ry(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+        8 => (GateKind::Cx, vec![qubits[0], qubits[1]]),
+        9 => (GateKind::Cz, vec![qubits[0], qubits[1]]),
+        10 => (
+            GateKind::Cp(rng.random_range(-3.0..3.0)),
+            vec![qubits[0], qubits[1]],
+        ),
+        11 => (GateKind::Swap, vec![qubits[0], qubits[1]]),
+        12 => (GateKind::Ccx, vec![qubits[0], qubits[1], qubits[2]]),
+        _ => (GateKind::Rx(rng.random_range(-3.0..3.0)), vec![qubits[0]]),
+    }
+}
+
+fn assert_agreement(ckt: &Ckt, oracle: &mut NaiveSim, what: &str) {
+    use qtask_baselines::Simulator;
+    oracle.update_state();
+    let got = ckt.state();
+    let want = oracle.state_vec();
+    assert!(
+        vecops::approx_eq(&got, &want, 1e-8),
+        "{what}: diverged from naive oracle by {}",
+        vecops::max_abs_diff(&got, &want)
+    );
+}
+
+fn run_storm(resolve: ResolvePolicy, seed: u64) {
+    use qtask_baselines::Simulator;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfg = SimConfig::with_block_size(4);
+    cfg.num_threads = 2;
+    cfg.resolve = resolve;
+    let mut ckt = Ckt::with_config(NUM_QUBITS, cfg);
+    let mut oracle = NaiveSim::new(NUM_QUBITS);
+
+    // Phase 1 — grow deep: a net holds at most one gate per qubit, so
+    // reaching ~300 rows needs a long chain of nets. Push a fresh net
+    // every other attempt; each linear gate is one row and dense gates
+    // share sync+MxV pairs.
+    let mut nets: Vec<NetId> = vec![ckt.push_net()];
+    let mut oracle_nets: Vec<NetId> = vec![oracle.push_net()];
+    // `live` pairs engine gate ids with the oracle's ids for mirrored
+    // removal.
+    let mut live: Vec<(GateId, GateId)> = Vec::new();
+    while ckt.num_rows() < 300 {
+        if rng.random_bool(0.5) {
+            nets.push(ckt.push_net());
+            oracle_nets.push(oracle.push_net());
+        }
+        let (kind, qubits) = random_gate(&mut rng);
+        let slot = rng.random_range(0..nets.len().clamp(1, 8));
+        let slot = nets.len() - 1 - slot; // bias toward recent nets
+        match (
+            ckt.insert_gate(kind, nets[slot], &qubits),
+            oracle.insert_gate(kind, oracle_nets[slot], &qubits),
+        ) {
+            (Ok(a), Ok(b)) => live.push((a, b)),
+            (Err(_), Err(_)) => {} // same qubit conflict in both
+            (a, b) => panic!("engine/oracle disagree on insert: {a:?} vs {b:?}"),
+        }
+    }
+    assert!(ckt.num_rows() >= 300, "stress circuit too shallow");
+    ckt.update_state();
+    ckt.validate_owner_index().unwrap();
+    assert_agreement(&ckt, &mut oracle, "after deep build");
+
+    // Phase 2 — interleaved modifier storm, removal-heavy, with updates
+    // only every few steps so removals batch up against a live index.
+    for step in 0..400 {
+        let remove = !live.is_empty() && rng.random_bool(0.45);
+        if remove {
+            let i = rng.random_range(0..live.len());
+            let (g_ckt, g_oracle) = live.swap_remove(i);
+            ckt.remove_gate(g_ckt).unwrap();
+            oracle.remove_gate(g_oracle).unwrap();
+        } else {
+            let (kind, qubits) = random_gate(&mut rng);
+            let slot = rng.random_range(0..nets.len());
+            match (
+                ckt.insert_gate(kind, nets[slot], &qubits),
+                oracle.insert_gate(kind, oracle_nets[slot], &qubits),
+            ) {
+                (Ok(a), Ok(b)) => live.push((a, b)),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("engine/oracle disagree on insert: {a:?} vs {b:?}"),
+            }
+        }
+        ckt.validate_owner_index()
+            .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        if step % 7 == 0 {
+            ckt.update_state();
+            ckt.validate_owner_index()
+                .unwrap_or_else(|e| panic!("step {step} post-update: {e}"));
+        }
+        if step % 40 == 0 {
+            ckt.update_state();
+            assert_agreement(&ckt, &mut oracle, &format!("storm step {step}"));
+        }
+    }
+    ckt.update_state();
+    ckt.validate_graph().unwrap();
+    ckt.validate_owner_index().unwrap();
+    assert_agreement(&ckt, &mut oracle, "final state");
+    assert!((ckt.norm_sqr() - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn deep_storm_owner_index() {
+    run_storm(ResolvePolicy::OwnerIndex, 0xDEE9);
+}
+
+#[test]
+fn deep_storm_owner_index_second_seed() {
+    run_storm(ResolvePolicy::OwnerIndex, 0x5EED);
+}
+
+#[test]
+fn deep_storm_chain_walk_oracle_parity() {
+    // The legacy path must stay correct too — it is the ablation baseline
+    // and the differential oracle for the index.
+    run_storm(ResolvePolicy::ChainWalk, 0xDEE9);
+}

@@ -135,8 +135,7 @@ fn reachability_invariant_survives_storm() {
         let mut live: Vec<GateId> = Vec::new();
         for step in 0..40 {
             if live.is_empty() || rng.random_bool(0.6) {
-                let (kind, qubits) =
-                    qtask::bench_circuits::random::random_gate(&mut rng, n);
+                let (kind, qubits) = qtask::bench_circuits::random::random_gate(&mut rng, n);
                 let net = nets[rng.random_range(0..nets.len())];
                 if let Ok(gid) = ckt.insert_gate(kind, net, &qubits) {
                     live.push(gid);
