@@ -10,7 +10,7 @@
 use crate::common::Simulator;
 use qtask_circuit::{Circuit, CircuitError, GateId, NetId};
 use qtask_gates::GateKind;
-use qtask_num::{vecops, Complex64, Mat2};
+use qtask_num::{slices, vecops, Complex64, Mat2};
 use qtask_partition::kernels;
 use qtask_partition::{lower_gate, LinearOp, LoweredGate};
 use qtask_taskflow::{Executor, Taskflow};
@@ -104,9 +104,11 @@ fn chunk_size(total: u64, threads: u64) -> u64 {
     (total.div_ceil(threads.max(1) * 4)).max(MIN_PAR_ITEMS)
 }
 
-/// Applies a linear op's rank range through a disjoint-write view.
-/// Distinct rank ranges touch distinct amplitudes, satisfying the view's
-/// exclusivity contract.
+/// Applies a linear op's rank range through a disjoint-write view, a
+/// whole run at a time (the same batched [`qtask_num::slices`] primitives
+/// the qTask engine uses, so the comparison stays fair). Distinct rank
+/// ranges touch distinct amplitudes, satisfying the view's exclusivity
+/// contract; runs within one range are likewise index-disjoint.
 fn apply_linear_view(
     op: &LinearOp,
     n_qubits: u8,
@@ -114,41 +116,46 @@ fn apply_linear_view(
     ranks: std::ops::Range<u64>,
 ) {
     let pattern = op.pattern(n_qubits);
-    match *op {
-        LinearOp::Diag { target, d0, d1, .. } => {
-            let tbit = 1u64 << target;
-            for low in pattern.iter_lows(ranks) {
-                let d = if low & tbit != 0 { d1 } else { d0 };
-                // SAFETY: rank ranges are disjoint across tasks.
-                unsafe { view.write(low as usize, view.read(low as usize) * d) };
+    for run in pattern.iter_runs(ranks) {
+        let (low, len) = (run.low_start as usize, run.len as usize);
+        match *op {
+            LinearOp::Diag { target, d0, d1, .. } => {
+                // SAFETY: rank ranges (hence their runs) are disjoint
+                // across tasks.
+                let slice = unsafe { view.slice_mut(low..low + len) };
+                kernels::scale_diag_run(slice, low, target, d0, d1);
             }
-        }
-        LinearOp::AntiDiag { a01, a10, .. } => {
-            for low in pattern.iter_lows(ranks) {
-                let high = pattern.partner(low);
-                // SAFETY: as above; each pair is owned by one task.
-                unsafe {
-                    let (x, y) = (view.read(low as usize), view.read(high as usize));
-                    view.write(low as usize, a01 * y);
-                    view.write(high as usize, a10 * x);
-                }
+            LinearOp::AntiDiag { a01, a10, .. } => {
+                let high = pattern.partner(run.low_start) as usize;
+                debug_assert!(low + len <= high);
+                // SAFETY: as above; the low and partner runs of one task
+                // never overlap another task's.
+                let (a, b) = unsafe {
+                    (
+                        view.slice_mut(low..low + len),
+                        view.slice_mut(high..high + len),
+                    )
+                };
+                slices::butterfly_slices(a, b, a01, a10);
             }
-        }
-        LinearOp::Swap { .. } => {
-            for low in pattern.iter_lows(ranks) {
-                let high = pattern.partner(low);
+            LinearOp::Swap { .. } => {
+                let high = pattern.partner(run.low_start) as usize;
+                debug_assert!(low + len <= high);
                 // SAFETY: as above.
-                unsafe {
-                    let (x, y) = (view.read(low as usize), view.read(high as usize));
-                    view.write(low as usize, y);
-                    view.write(high as usize, x);
-                }
+                let (a, b) = unsafe {
+                    (
+                        view.slice_mut(low..low + len),
+                        view.slice_mut(high..high + len),
+                    )
+                };
+                a.swap_with_slice(b);
             }
         }
     }
 }
 
-/// Dense butterfly over a rank range, through a disjoint-write view.
+/// Dense butterfly over a rank range, through a disjoint-write view —
+/// whole-run 2×2 butterflies.
 fn apply_dense_view(
     controls: u64,
     target: u8,
@@ -159,14 +166,18 @@ fn apply_dense_view(
 ) {
     let pattern = kernels::dense_pattern(controls, target, n_qubits);
     let tbit = 1usize << target;
-    for low in pattern.iter_lows(ranks) {
-        let (i, j) = (low as usize, low as usize | tbit);
+    for run in pattern.iter_runs(ranks) {
+        let (low, len) = (run.low_start as usize, run.len as usize);
+        let high = low | tbit;
+        debug_assert!(low + len <= high);
         // SAFETY: pair ranks are disjoint across tasks.
-        unsafe {
-            let (a0, a1) = mat.apply(view.read(i), view.read(j));
-            view.write(i, a0);
-            view.write(j, a1);
-        }
+        let (a, b) = unsafe {
+            (
+                view.slice_mut(low..low + len),
+                view.slice_mut(high..high + len),
+            )
+        };
+        slices::mat2_butterfly_slices(a, b, mat.at(0, 0), mat.at(0, 1), mat.at(1, 0), mat.at(1, 1));
     }
 }
 

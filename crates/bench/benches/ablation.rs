@@ -8,9 +8,12 @@
 //!   full-vector passes but square the per-amplitude source terms).
 //! * **COW resolve policy** — per-block owner index (binary search,
 //!   depth-independent) vs the legacy backward row walk (O(live rows)).
+//! * **Kernel policy** — batched run kernels + fused MxV rows vs the
+//!   scalar one-amplitude-at-a-time loops (see `kernel_throughput` for
+//!   the isolated kernel-layer numbers).
 
 use qtask_bench::*;
-use qtask_core::{ResolvePolicy, RowOrderPolicy, SimConfig};
+use qtask_core::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig};
 use qtask_taskflow::Executor;
 use std::sync::Arc;
 
@@ -66,6 +69,22 @@ fn main() {
             };
             let (full, inc) = measure(&opts, &ex, name, &config);
             println!("{name:<12} {cap:>6} {full:>12.2} {inc:>12.2}");
+        }
+    }
+
+    println!("\nKernel policy (batched run kernels + fused MxV vs scalar loops):");
+    println!(
+        "{:<12} {:<12} {:>12} {:>12}",
+        "circuit", "policy", "full (ms)", "inc (ms)"
+    );
+    for name in ["qft", "big_adder", "ising"] {
+        for kernels in [KernelPolicy::Batched, KernelPolicy::Scalar] {
+            let config = SimConfig::default().with_kernels(kernels);
+            let (full, inc) = measure(&opts, &ex, name, &config);
+            println!(
+                "{name:<12} {:<12} {full:>12.2} {inc:>12.2}",
+                format!("{kernels:?}")
+            );
         }
     }
 

@@ -1,0 +1,195 @@
+//! Kernel-layer throughput: scalar item loops vs batched run kernels.
+//!
+//! Two levels:
+//! 1. **Flat kernels** at 22 qubits — the per-gate-class inner loops
+//!    (`apply_*_ranks` vs `apply_*_runs`), isolating pure arithmetic
+//!    throughput from engine bookkeeping.
+//! 2. **Engine MxV updates** at 20 qubits — repeated warm incremental
+//!    updates of a superposition group under `KernelPolicy::Scalar`
+//!    (on-the-fly row expansion) vs `Batched` (fused `FusedOp` rows,
+//!    zero per-amplitude allocation).
+//!
+//! The acceptance bar for this layer: ≥2x batched-over-scalar on Diag and
+//! Swap at ≥20 qubits. Record results in EXPERIMENTS.md.
+
+use qtask_bench::{harness_init, median_of, Opts};
+use qtask_core::{Ckt, KernelPolicy, SimConfig};
+use qtask_gates::GateKind;
+use qtask_num::{vecops, Complex64};
+use qtask_partition::{kernels, LinearOp};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: u8 = 22;
+
+fn prepared_state(n: u8) -> Vec<Complex64> {
+    let mut state = vecops::ket_zero(n as usize);
+    // A few H layers so amplitudes are non-trivial everywhere.
+    for q in [0u8, 5, 11, 17] {
+        kernels::apply_gate(GateKind::H, 0, &[q], &mut state);
+    }
+    state
+}
+
+/// Milliseconds per whole-state application, median over `reps`.
+fn measure_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    median_of(reps, || {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e3
+    })
+}
+
+fn report(label: &str, scalar_ms: f64, batched_ms: f64) {
+    println!(
+        "{label:<28} {scalar_ms:>12.3} {batched_ms:>12.3} {:>9.2}x",
+        scalar_ms / batched_ms
+    );
+}
+
+fn flat_kernels(opts: &Opts) {
+    println!("\nFlat kernels, {N} qubits ({} amplitudes):", 1u64 << N);
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "op", "scalar (ms)", "batched (ms)", "speedup"
+    );
+    let reps = opts.reps.max(3);
+    let mut state = prepared_state(N);
+
+    let diag_z = LinearOp::Diag {
+        controls: 0,
+        target: 10,
+        d0: Complex64::ONE,
+        d1: -Complex64::ONE,
+    };
+    let diag_rz = LinearOp::Diag {
+        controls: 0,
+        target: 10,
+        d0: Complex64::exp_i(-0.15),
+        d1: Complex64::exp_i(0.15),
+    };
+    let antidiag_x = LinearOp::AntiDiag {
+        controls: 0,
+        target: 12,
+        a01: Complex64::ONE,
+        a10: Complex64::ONE,
+    };
+    let swap = LinearOp::Swap {
+        controls: 0,
+        t_lo: 6,
+        t_hi: 14,
+    };
+    for (label, op) in [
+        ("diag Z(q10)", diag_z),
+        ("diag RZ(q10)", diag_rz),
+        ("antidiag X(q12)", antidiag_x),
+        ("swap (q6,q14)", swap),
+    ] {
+        let total = op.pattern(N).num_items();
+        let scalar = measure_ms(reps, || {
+            kernels::apply_linear_ranks(&op, N, black_box(&mut state), 0..total)
+        });
+        let batched = measure_ms(reps, || {
+            kernels::apply_linear_runs(&op, N, black_box(&mut state), 0..total)
+        });
+        report(label, scalar, batched);
+    }
+
+    let h = GateKind::H.base_matrix().unwrap();
+    let total = kernels::dense_pattern(0, 9, N).num_items();
+    let scalar = measure_ms(reps, || {
+        kernels::apply_dense_ranks(0, 9, &h, N, black_box(&mut state), 0..total)
+    });
+    let batched = measure_ms(reps, || {
+        kernels::apply_dense_runs(0, 9, &h, N, black_box(&mut state), 0..total)
+    });
+    report("dense H(q9)", scalar, batched);
+}
+
+/// Warm incremental MxV update cost under each kernel policy: toggle a
+/// second dense factor into a trailing group and re-update, so every MxV
+/// partition re-executes against warm buffers.
+fn engine_mxv(opts: &Opts) {
+    let n = 20u8;
+    println!("\nEngine MxV incremental update, {n} qubits, group cap 2:");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "policy pair", "scalar (ms)", "batched (ms)", "speedup"
+    );
+    let reps = opts.reps.max(3);
+    let measure_policy = |kernels: KernelPolicy| {
+        let mut cfg = SimConfig::default().with_kernels(kernels);
+        cfg.num_threads = opts.threads;
+        let mut ckt = Ckt::with_config(n, cfg);
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+        ckt.update_state();
+        // Warm the buffers and the fused cache.
+        let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+        ckt.update_state();
+        ckt.remove_gate(gid).unwrap();
+        ckt.update_state();
+        median_of(reps, || {
+            let t0 = Instant::now();
+            let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+            ckt.update_state();
+            ckt.remove_gate(gid).unwrap();
+            ckt.update_state();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+    };
+    let scalar = measure_policy(KernelPolicy::Scalar);
+    let batched = measure_policy(KernelPolicy::Batched);
+    report("mxv toggle H(q1)", scalar, batched);
+}
+
+/// Warm incremental linear-row update cost under each kernel policy.
+fn engine_linear(opts: &Opts) {
+    let n = 20u8;
+    println!("\nEngine linear incremental update, {n} qubits:");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "gate toggled", "scalar (ms)", "batched (ms)", "speedup"
+    );
+    let reps = opts.reps.max(3);
+    for (label, kind, qubits) in [
+        ("Z(q10)", GateKind::Z, vec![10u8]),
+        ("Swap(q6,q14)", GateKind::Swap, vec![6, 14]),
+        ("X(q12)", GateKind::X, vec![12u8]),
+    ] {
+        let measure_policy = |kernels: KernelPolicy| {
+            let mut cfg = SimConfig::default().with_kernels(kernels);
+            cfg.num_threads = opts.threads;
+            let mut ckt = Ckt::with_config(n, cfg);
+            let net = ckt.push_net();
+            ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+            let tail = ckt.push_net();
+            ckt.update_state();
+            let qubits = qubits.clone();
+            median_of(reps, || {
+                let t0 = Instant::now();
+                let gid = ckt.insert_gate(kind, tail, &qubits).unwrap();
+                ckt.update_state();
+                ckt.remove_gate(gid).unwrap();
+                ckt.update_state();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+        };
+        let scalar = measure_policy(KernelPolicy::Scalar);
+        let batched = measure_policy(KernelPolicy::Batched);
+        report(label, scalar, batched);
+    }
+}
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    println!(
+        "Kernel throughput bench ({} threads, {} reps)",
+        opts.threads, opts.reps
+    );
+    flat_kernels(&opts);
+    engine_mxv(&opts);
+    engine_linear(&opts);
+}

@@ -24,6 +24,19 @@ pub enum ResolvePolicy {
     ChainWalk,
 }
 
+/// How partition tasks apply gate arithmetic to block buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Run-decomposed batched kernels: Diag as strided slice scaling,
+    /// AntiDiag/Swap as whole-run two-slice butterflies, and MxV through
+    /// the precomputed [`crate::fused::FusedOp`] row cache. The default.
+    Batched,
+    /// One amplitude (pair) at a time, with on-the-fly MxV row expansion.
+    /// Kept for the ablation bench and as a differential oracle for the
+    /// batched path.
+    Scalar,
+}
+
 /// Tunables of a [`crate::Ckt`].
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -47,6 +60,8 @@ pub struct SimConfig {
     pub mxv_group_max: usize,
     /// How block reads resolve the COW chain (see `DESIGN.md`).
     pub resolve: ResolvePolicy,
+    /// How partition tasks apply gate arithmetic (see `DESIGN.md`).
+    pub kernels: KernelPolicy,
 }
 
 impl Default for SimConfig {
@@ -57,6 +72,7 @@ impl Default for SimConfig {
             row_order: RowOrderPolicy::SortedByBlockCount,
             mxv_group_max: 2,
             resolve: ResolvePolicy::OwnerIndex,
+            kernels: KernelPolicy::Batched,
         }
     }
 }
@@ -83,6 +99,12 @@ impl SimConfig {
         self.resolve = resolve;
         self
     }
+
+    /// This config with the given kernel policy.
+    pub fn with_kernels(mut self, kernels: KernelPolicy) -> SimConfig {
+        self.kernels = kernels;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,8 +117,11 @@ mod tests {
         assert_eq!(c.block_size, 256);
         assert_eq!(c.row_order, RowOrderPolicy::SortedByBlockCount);
         assert_eq!(c.resolve, ResolvePolicy::OwnerIndex);
+        assert_eq!(c.kernels, KernelPolicy::Batched);
         assert!(c.num_threads >= 1);
         let c = c.with_resolve(ResolvePolicy::ChainWalk);
         assert_eq!(c.resolve, ResolvePolicy::ChainWalk);
+        let c = c.with_kernels(KernelPolicy::Scalar);
+        assert_eq!(c.kernels, KernelPolicy::Scalar);
     }
 }

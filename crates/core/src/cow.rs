@@ -21,9 +21,9 @@ use std::sync::Arc;
 ///
 /// `Arc<Vec<…>>` rather than `Arc<[…]>`: publishing a freshly computed
 /// buffer is then a pointer move instead of a second 4 KiB copy, and a
-/// uniquely owned block can be reclaimed ([`RowVector::take_reusable`])
-/// when its partition re-executes, making steady-state incremental
-/// updates allocation-free.
+/// uniquely owned block can be reclaimed
+/// ([`RowVector::take_reusable_arc`]) when its partition re-executes,
+/// making steady-state incremental updates allocation-free.
 pub type BlockData = Arc<Vec<Complex64>>;
 
 /// One block slot of a row vector.
@@ -76,18 +76,22 @@ impl RowVector {
         *self.slots[b].lock() = Slot::Owned(data);
     }
 
-    /// Reclaims block `b`'s buffer for re-execution if this row owns it
-    /// and no other row still shares it. The slot reverts to `Inherit`;
-    /// the caller is responsible for re-publishing. Only sound while the
-    /// owning partition has exclusive execution rights to the block (the
-    /// task-graph dependencies guarantee no concurrent reader).
-    pub fn take_reusable(&self, b: usize) -> Option<Vec<Complex64>> {
+    /// Reclaims block `b`'s buffer — `Arc` wrapper included — for
+    /// re-execution, if this row owns it and no other holder shares it.
+    /// The slot reverts to `Inherit`; the caller mutates the buffer in
+    /// place (via [`Arc::get_mut`]) and republishes the *same* allocation,
+    /// which is the zero-allocation steady state of incremental updates.
+    /// Returns `None` when the block is not owned or still shared. Only
+    /// sound while the owning partition has exclusive execution rights to
+    /// the block (the task-graph dependencies guarantee no concurrent
+    /// reader).
+    pub fn take_reusable_arc(&self, b: usize) -> Option<BlockData> {
         let mut slot = self.slots[b].lock();
         if let Slot::Owned(data) = std::mem::replace(&mut *slot, Slot::Inherit) {
-            match Arc::try_unwrap(data) {
-                Ok(vec) => return Some(vec),
-                Err(shared) => *slot = Slot::Owned(shared),
+            if Arc::strong_count(&data) == 1 {
+                return Some(data);
             }
+            *slot = Slot::Owned(data);
         }
         None
     }
@@ -202,6 +206,23 @@ mod tests {
         assert!(v[1..].iter().all(|z| z.is_zero(0.0)));
         let v = r.to_vec(3, 4);
         assert!(v.iter().all(|z| z.is_zero(0.0)));
+    }
+
+    #[test]
+    fn take_reusable_arc_keeps_allocation() {
+        let v = RowVector::new(2, 4);
+        v.publish(0, Arc::new(vec![c64(1.0, 0.0); 4]));
+        let mut arc = v.take_reusable_arc(0).expect("uniquely owned");
+        assert!(!v.owns(0));
+        let ptr = Arc::as_ptr(&arc);
+        Arc::get_mut(&mut arc).unwrap()[0] = c64(2.0, 0.0);
+        v.publish(0, arc);
+        let back = v.owned(0).unwrap();
+        assert_eq!(Arc::as_ptr(&back), ptr);
+        // A shared block is not reclaimable: the slot keeps ownership.
+        let _hold = v.owned(0).unwrap();
+        assert!(v.take_reusable_arc(0).is_none());
+        assert!(v.owns(0));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Ckt`] engine: modifiers, frontier bookkeeping, incremental update.
 
-use crate::config::{RowOrderPolicy, SimConfig};
+use crate::config::{KernelPolicy, RowOrderPolicy, SimConfig};
 use crate::cow::RowVector;
 use crate::exec::{self, ExecView};
 use crate::owners::{OwnerIndex, ResolveStats};
@@ -311,6 +311,7 @@ impl Ckt {
             GateSim::DenseInMxV(mxv, sync) => {
                 let row = self.rows.get_mut(mxv.key()).expect("MxV row is live");
                 row.dense.retain(|f| f.gate != gate);
+                row.fused = None;
                 if row.dense.is_empty() {
                     // The group lost its last gate: drop this MxV + sync
                     // pair.
@@ -359,6 +360,7 @@ impl Ckt {
             kind,
             gate,
             dense: Vec::new(),
+            fused: None,
             parts: Vec::new(),
             vector: RowVector::new(self.geom.num_blocks(), self.geom.block_size()),
             max_part_blocks: 0,
@@ -414,13 +416,36 @@ impl Ckt {
 
     /// Adds a dense factor to the net's newest MxV row with spare
     /// capacity, or opens a fresh sync+MxV pair. Returns `(mxv, sync)`.
-    fn add_dense_factor(&mut self, net: NetId, factor: DenseFactor) -> (RowId, RowId) {
+    pub(crate) fn add_dense_factor(&mut self, net: NetId, factor: DenseFactor) -> (RowId, RowId) {
         let sim = self.net_sim.get(&net).expect("net is live");
-        if let Some(&(sync, mxv)) = sim.mxv_pairs.last() {
-            if self.rows[mxv.key()].dense.len() < self.config.mxv_group_max {
-                let row = self.rows.get_mut(mxv.key()).expect("MxV row is live");
+        // A factor re-added on the same (controls, target) replaces the
+        // stale entry — in whichever of the net's chained pairs holds it —
+        // instead of stacking a second copy. The circuit layer rejects two
+        // *live* gates sharing a qubit in one net, so a match here can
+        // only be a leftover of the same logical gate being re-registered.
+        // Index iteration with per-step re-lookup keeps the modifier path
+        // clone-free.
+        for idx in (0..sim.mxv_pairs.len()).rev() {
+            let (sync, mxv) = self.net_sim[&net].mxv_pairs[idx];
+            let row = self.rows.get_mut(mxv.key()).expect("MxV row is live");
+            if let Some(existing) = row
+                .dense
+                .iter_mut()
+                .find(|f| f.controls == factor.controls && f.target == factor.target)
+            {
+                *existing = factor;
+                row.fused = None;
+                let parts = self.rows[mxv.key()].parts.clone();
+                self.frontier.extend(parts);
+                return (mxv, sync);
+            }
+        }
+        if let Some(&(sync, mxv)) = self.net_sim[&net].mxv_pairs.last() {
+            let row = self.rows.get_mut(mxv.key()).expect("MxV row is live");
+            if row.dense.len() < self.config.mxv_group_max {
                 row.dense.push(factor);
                 row.dense.sort_by_key(|f| f.target);
+                row.fused = None;
                 let parts = self.rows[mxv.key()].parts.clone();
                 self.frontier.extend(parts);
                 return (mxv, sync);
@@ -528,6 +553,18 @@ impl Ckt {
                 stack.extend(self.parts[p.key()].succs.iter().copied());
             }
         }
+        // Refresh the fused MxV operators of dirty rows before the tasks
+        // that read them are spawned (serial: the cache is engine state).
+        if self.config.kernels == KernelPolicy::Batched {
+            for &pid in &dirty {
+                let rid = self.parts[pid.key()].row;
+                let row = self.rows.get_mut(rid.key()).expect("dirty row is live");
+                if matches!(row.kind, RowKind::MxV) && row.fused.is_none() && !row.dense.is_empty()
+                {
+                    row.fused = crate::fused::FusedOp::build(&row.dense);
+                }
+            }
+        }
         // Build the task graph over dirty partitions only; clean
         // predecessors' outputs are already materialized.
         self.resolve_stats.reset();
@@ -540,6 +577,7 @@ impl Ckt {
             geom: self.geom,
             n_qubits: self.circuit.num_qubits(),
             resolve: self.config.resolve,
+            kernels: self.config.kernels,
         };
         let mut tf = Taskflow::with_capacity("update_state", self.scratch.nodes_hint);
         let mut tasks_executed = 0usize;
@@ -643,5 +681,153 @@ impl Ckt {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Re-registering a factor on the same (controls, target) must replace
+    /// the stale entry, not stack a second copy into the product.
+    #[test]
+    fn readded_dense_factor_replaces_instead_of_stacking() {
+        let mut cfg = SimConfig::with_block_size(4);
+        cfg.num_threads = 1;
+        let mut ckt = Ckt::with_config(4, cfg);
+        let net = ckt.push_net();
+        let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+        ckt.update_state();
+        let GateSim::DenseInMxV(mxv, _) = ckt.gate_sim[&gid] else {
+            panic!("H gate must fold into an MxV row");
+        };
+        assert!(ckt.rows[mxv.key()].fused.is_some(), "cache built by update");
+        // Re-register the same logical gate with a different matrix,
+        // bypassing the circuit layer's net-conflict check (which is what
+        // keeps two *live* gates off one qubit).
+        let u = GateKind::U3(0.3, 0.8, 1.1).base_matrix().unwrap();
+        let (mxv2, _) = ckt.add_dense_factor(
+            net,
+            crate::row::DenseFactor {
+                gate: gid,
+                controls: 0,
+                target: 1,
+                mat: u,
+            },
+        );
+        assert_eq!(mxv2, mxv);
+        let row = &ckt.rows[mxv.key()];
+        assert_eq!(row.dense.len(), 1, "factor replaced, not stacked");
+        assert!(row.dense[0].mat.approx_eq(&u, 0.0), "newest matrix wins");
+        assert!(row.fused.is_none(), "replacement invalidates the cache");
+        // The simulated state reflects U3 alone, not H·U3.
+        ckt.update_state();
+        let mut want = qtask_num::vecops::ket_zero(4);
+        qtask_partition::kernels::apply_dense(0, 1, &u, 4, &mut want);
+        assert!(qtask_num::vecops::approx_eq(&ckt.state(), &want, 1e-12));
+    }
+
+    /// The replace scan covers every chained pair of the net, not just
+    /// the newest: a stale factor in an earlier MxV row is found too.
+    #[test]
+    fn readded_factor_replaces_in_earlier_chained_pair() {
+        let mut cfg = SimConfig::with_block_size(4);
+        cfg.num_threads = 1;
+        cfg.mxv_group_max = 1; // every dense gate opens its own pair
+        let mut ckt = Ckt::with_config(4, cfg);
+        let net = ckt.push_net();
+        let g0 = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+        let g1 = ckt.insert_gate(GateKind::H, net, &[3]).unwrap();
+        let (GateSim::DenseInMxV(m0, _), GateSim::DenseInMxV(m1, _)) =
+            (&ckt.gate_sim[&g0], &ckt.gate_sim[&g1])
+        else {
+            panic!("both H gates must fold into MxV rows");
+        };
+        let (m0, m1) = (*m0, *m1);
+        assert_ne!(m0, m1, "cap 1 chains two pairs");
+        ckt.update_state();
+        // Re-register g0's (controls, target) — held by the *earlier*
+        // pair — with a different matrix.
+        let u = GateKind::U3(0.3, 0.8, 1.1).base_matrix().unwrap();
+        let (hit, _) = ckt.add_dense_factor(
+            net,
+            crate::row::DenseFactor {
+                gate: g0,
+                controls: 0,
+                target: 1,
+                mat: u,
+            },
+        );
+        assert_eq!(hit, m0, "replacement lands in the earlier pair");
+        assert_eq!(ckt.rows[m0.key()].dense.len(), 1);
+        assert!(ckt.rows[m0.key()].dense[0].mat.approx_eq(&u, 0.0));
+        assert_eq!(ckt.rows[m1.key()].dense.len(), 1, "later pair untouched");
+        ckt.update_state();
+        let h = GateKind::H.base_matrix().unwrap();
+        let mut want = qtask_num::vecops::ket_zero(4);
+        qtask_partition::kernels::apply_dense(0, 1, &u, 4, &mut want);
+        qtask_partition::kernels::apply_dense(0, 3, &h, 4, &mut want);
+        assert!(qtask_num::vecops::approx_eq(&ckt.state(), &want, 1e-12));
+    }
+
+    /// Distinct (controls, target) factors still stack into the group up
+    /// to the cap — replacement is keyed, not unconditional.
+    #[test]
+    fn distinct_factors_still_group() {
+        let mut cfg = SimConfig::with_block_size(4);
+        cfg.num_threads = 1;
+        cfg.mxv_group_max = 2;
+        let mut ckt = Ckt::with_config(4, cfg);
+        let net = ckt.push_net();
+        let g0 = ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+        let g1 = ckt.insert_gate(GateKind::H, net, &[2]).unwrap();
+        let (GateSim::DenseInMxV(m0, _), GateSim::DenseInMxV(m1, _)) =
+            (&ckt.gate_sim[&g0], &ckt.gate_sim[&g1])
+        else {
+            panic!("both H gates must fold into MxV rows");
+        };
+        let (m0, m1) = (*m0, *m1);
+        assert_eq!(m0, m1, "both factors share one row under the cap");
+        assert_eq!(ckt.rows[m0.key()].dense.len(), 2);
+        // A third dense gate overflows the cap into a fresh pair.
+        let g2 = ckt.insert_gate(GateKind::H, net, &[3]).unwrap();
+        let GateSim::DenseInMxV(m2, _) = ckt.gate_sim[&g2] else {
+            panic!("third H gate must fold into an MxV row");
+        };
+        assert_ne!(m2, m0);
+        // Identity matrix check: simulate and compare against the flat
+        // kernels applied gate-at-a-time.
+        ckt.update_state();
+        let h = GateKind::H.base_matrix().unwrap();
+        let mut want = qtask_num::vecops::ket_zero(4);
+        for t in [0u8, 2, 3] {
+            qtask_partition::kernels::apply_dense(0, t, &h, 4, &mut want);
+        }
+        assert!(qtask_num::vecops::approx_eq(&ckt.state(), &want, 1e-12));
+    }
+
+    /// Dense gate removal invalidates the fused cache; the next update
+    /// rebuilds it for the shrunken group.
+    #[test]
+    fn dense_removal_invalidates_fused_cache() {
+        let mut cfg = SimConfig::with_block_size(4);
+        cfg.num_threads = 1;
+        let mut ckt = Ckt::with_config(4, cfg);
+        let net = ckt.push_net();
+        let g0 = ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+        let g1 = ckt.insert_gate(GateKind::H, net, &[2]).unwrap();
+        ckt.update_state();
+        let GateSim::DenseInMxV(mxv, _) = ckt.gate_sim[&g0] else {
+            panic!("H gate must fold into an MxV row");
+        };
+        assert!(ckt.rows[mxv.key()].fused.is_some());
+        ckt.remove_gate(g1).unwrap();
+        assert!(ckt.rows[mxv.key()].fused.is_none(), "removal invalidates");
+        ckt.update_state();
+        assert!(ckt.rows[mxv.key()].fused.is_some(), "update rebuilds");
+        let h = GateKind::H.base_matrix().unwrap();
+        let mut want = qtask_num::vecops::ket_zero(4);
+        qtask_partition::kernels::apply_dense(0, 0, &h, 4, &mut want);
+        assert!(qtask_num::vecops::approx_eq(&ckt.state(), &want, 1e-12));
     }
 }

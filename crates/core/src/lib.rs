@@ -33,12 +33,16 @@ pub mod cow;
 pub mod dump;
 pub mod engine;
 pub mod exec;
+pub mod fused;
 pub mod owners;
 pub mod pgraph;
 pub mod queries;
 pub mod row;
+#[doc(hidden)]
+pub mod test_support;
 
-pub use config::{ResolvePolicy, RowOrderPolicy, SimConfig};
+pub use config::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig};
 pub use engine::{Ckt, UpdateReport};
 pub use owners::OwnerIndex;
+pub use queries::QueryReport;
 pub use row::{PartId, RowId};

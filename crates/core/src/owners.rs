@@ -32,7 +32,7 @@
 //!
 //! [`OwnerIndex::last_before`] additionally tolerates benign staleness: a
 //! candidate that turns out not to own the block (e.g. its buffer was
-//! reclaimed by `take_reusable` during its own re-execution) can be
+//! reclaimed by `take_reusable_arc` during its own re-execution) can be
 //! skipped by retrying with that candidate's label as the new upper
 //! bound.
 

@@ -8,6 +8,20 @@
 use crate::cow::Resolved;
 use crate::engine::Ckt;
 use qtask_num::Complex64;
+use std::sync::atomic::Ordering;
+
+/// Resolution work performed by one query ([`Ckt::amplitude_reported`],
+/// [`Ckt::state_reported`]): the query-side counterpart of
+/// [`crate::UpdateReport`]'s counters. `owner_probes / blocks_resolved`
+/// is the per-lookup cost the owner index keeps flat in circuit depth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryReport {
+    /// COW block resolutions the query performed.
+    pub blocks_resolved: u64,
+    /// Owner probes those resolutions cost: rows visited (chain walk) or
+    /// binary-search steps (owner index).
+    pub owner_probes: u64,
+}
 
 /// One [`Ckt::debug_partitions`] entry:
 /// `(label, block_lo, block_hi, preds, succs, in_frontier)`.
@@ -49,8 +63,14 @@ impl Ckt {
                     .map_or(Resolved::Initial, Resolved::Data)
             }
             crate::config::ResolvePolicy::ChainWalk => {
+                self.resolve_stats
+                    .blocks_resolved
+                    .fetch_add(1, Ordering::Relaxed);
                 let mut cur = self.rows.tail();
                 while let Some(k) = cur {
+                    self.resolve_stats
+                        .owner_probes
+                        .fetch_add(1, Ordering::Relaxed);
                     if let Some(data) = self.rows[k].vector.owned(b) {
                         return Resolved::Data(data);
                     }
@@ -61,12 +81,35 @@ impl Ckt {
         }
     }
 
+    /// Runs `f` and reports the resolution work it performed. Queries and
+    /// updates share one counter set (reset at each `update_state`), so
+    /// the delta around `f` is exactly `f`'s own work — queries run on the
+    /// caller's thread with no update in flight.
+    fn with_query_report<T>(&self, f: impl FnOnce(&Self) -> T) -> (T, QueryReport) {
+        let (blocks0, probes0) = self.resolve_stats.snapshot();
+        let value = f(self);
+        let (blocks1, probes1) = self.resolve_stats.snapshot();
+        (
+            value,
+            QueryReport {
+                blocks_resolved: blocks1 - blocks0,
+                owner_probes: probes1 - probes0,
+            },
+        )
+    }
+
     /// The amplitude of basis state `idx`.
     pub fn amplitude(&self, idx: usize) -> Complex64 {
         assert!(idx < self.geom.state_len(), "basis index out of range");
         let b = self.geom.block_of(idx);
         self.resolve_final(b)
             .read(b, self.geom.offset_in_block(idx))
+    }
+
+    /// [`Ckt::amplitude`] plus the resolution work the lookup performed
+    /// (the ROADMAP's query-side counterpart of [`crate::UpdateReport`]).
+    pub fn amplitude_reported(&self, idx: usize) -> (Complex64, QueryReport) {
+        self.with_query_report(|ckt| ckt.amplitude(idx))
     }
 
     /// The probability of basis state `idx`.
@@ -91,6 +134,12 @@ impl Ckt {
             }
         }
         out
+    }
+
+    /// [`Ckt::state`] plus the resolution work materializing it performed:
+    /// one block resolution per block, each probing the owner lists.
+    pub fn state_reported(&self) -> (Vec<Complex64>, QueryReport) {
+        self.with_query_report(|ckt| ckt.state())
     }
 
     /// All basis-state probabilities.

@@ -52,6 +52,11 @@ pub struct Row {
     /// Dense factors for `MxV` rows (kept sorted by target for
     /// deterministic output).
     pub dense: Vec<DenseFactor>,
+    /// Fused sparse-row cache over `dense` ([`crate::fused::FusedOp`]).
+    /// Built lazily in `update_state` under
+    /// [`crate::KernelPolicy::Batched`]; invalidated by every modifier
+    /// that changes the factor group.
+    pub fused: Option<crate::fused::FusedOp>,
     /// Partitions of this row, ordered by `block_lo` (block-disjoint).
     pub parts: Vec<PartId>,
     /// The row's COW output vector.

@@ -1,0 +1,40 @@
+//! Hidden hooks for the workspace's own integration tests.
+//!
+//! The allocation-profile test (`tests/mxv_alloc.rs`) must re-run the MxV
+//! execution path *in isolation* — outside `update_state`, whose graph
+//! construction legitimately allocates — inside a binary whose global
+//! allocator counts every heap call. The engine internals it needs are
+//! `pub(crate)`, so this module re-exposes exactly the two operations the
+//! test performs. Not a public API; hidden from docs and subject to
+//! change.
+
+use crate::engine::Ckt;
+use crate::exec::{self, ExecView};
+use crate::row::{PartId, RowKind};
+
+/// All partitions of MxV rows, in row order.
+pub fn mxv_partitions(ckt: &Ckt) -> Vec<PartId> {
+    ckt.rows
+        .keys()
+        .filter(|k| matches!(ckt.rows[*k].kind, RowKind::MxV))
+        .flat_map(|k| ckt.rows[k].parts.clone())
+        .collect()
+}
+
+/// Re-executes the given MxV partitions once, serially, on the calling
+/// thread — the body an incremental update would run for them.
+pub fn reexec_mxv_partitions(ckt: &Ckt, pids: &[PartId]) {
+    let view = ExecView {
+        rows: &ckt.rows,
+        parts: &ckt.parts,
+        owners: &ckt.owners,
+        stats: &ckt.resolve_stats,
+        geom: ckt.geom,
+        n_qubits: ckt.num_qubits(),
+        resolve: ckt.config.resolve,
+        kernels: ckt.config.kernels,
+    };
+    for &pid in pids {
+        exec::exec_mxv_partition(view, pid);
+    }
+}

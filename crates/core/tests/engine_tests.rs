@@ -513,3 +513,56 @@ fn owner_index_consistent_after_removal_storm_on_deep_chain() {
     ckt.validate_owner_index().unwrap();
     assert_matches_oracle(&ckt, "post-removal deep chain");
 }
+
+#[test]
+fn query_reports_surface_resolution_work() {
+    use qtask_core::{KernelPolicy, QueryReport, ResolvePolicy};
+    for resolve in [ResolvePolicy::OwnerIndex, ResolvePolicy::ChainWalk] {
+        let mut cfg = SimConfig::with_block_size(4).with_resolve(resolve);
+        cfg.num_threads = 1;
+        let mut ckt = Ckt::with_config(6, cfg);
+        for target in [0u8, 3, 5] {
+            let net = ckt.push_net();
+            ckt.insert_gate(GateKind::H, net, &[target]).unwrap();
+        }
+        ckt.update_state();
+        // A single amplitude resolves exactly one block.
+        let (amp, report) = ckt.amplitude_reported(0);
+        assert_eq!(report.blocks_resolved, 1, "{resolve:?}");
+        assert!(report.owner_probes >= 1, "{resolve:?}: {report:?}");
+        assert!((amp.norm_sqr() - 1.0 / 8.0).abs() < 1e-12);
+        // Materializing the state resolves every block once.
+        let (state, report) = ckt.state_reported();
+        assert_eq!(state.len(), 1 << 6);
+        assert_eq!(report.blocks_resolved, ckt.geometry().num_blocks() as u64);
+        assert!(report.owner_probes >= report.blocks_resolved);
+        // Reports are deltas, not running totals.
+        let (_, again) = ckt.amplitude_reported(0);
+        assert_eq!(again.blocks_resolved, 1);
+        assert_eq!(QueryReport::default().blocks_resolved, 0);
+    }
+    // Under ChainWalk the probe count reflects the walk depth; the owner
+    // index answers in O(log owners) — fewer probes on a deep chain.
+    let deep = 64usize;
+    let mut probes = Vec::new();
+    for resolve in [ResolvePolicy::OwnerIndex, ResolvePolicy::ChainWalk] {
+        let mut cfg = SimConfig::with_block_size(4)
+            .with_resolve(resolve)
+            .with_kernels(KernelPolicy::Batched);
+        cfg.num_threads = 1;
+        let mut ckt = Ckt::with_config(8, cfg);
+        for _ in 0..deep {
+            let net = ckt.push_net();
+            ckt.insert_gate(GateKind::T, net, &[7]).unwrap();
+        }
+        ckt.update_state();
+        // Block 0 is owned only by early rows: the chain walk scans the
+        // whole row list, the index binary-searches it.
+        let (_, report) = ckt.amplitude_reported(0);
+        probes.push(report.owner_probes);
+    }
+    assert!(
+        probes[0] * 4 < probes[1],
+        "owner index should probe far less than the chain walk: {probes:?}"
+    );
+}

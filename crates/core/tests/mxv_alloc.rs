@@ -1,0 +1,77 @@
+//! Allocation profile of the warm MxV execution path.
+//!
+//! This test lives in its own binary on purpose: it installs the counting
+//! global allocator and asserts an *exact* zero over a code region, which
+//! only holds when no other test thread allocates concurrently.
+
+use qtask_core::test_support;
+use qtask_core::{Ckt, KernelPolicy, SimConfig};
+use qtask_gates::GateKind;
+use qtask_util::alloc_counter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Once the `FusedOp` cache is warm and the output buffers are
+/// materialized, re-executing MxV partitions — the body of a repeated
+/// incremental update — performs zero heap allocations.
+#[test]
+fn warm_mxv_reexecution_allocates_nothing() {
+    let mut cfg = SimConfig::with_block_size(8);
+    cfg.num_threads = 1;
+    assert_eq!(cfg.kernels, KernelPolicy::Batched);
+    let mut ckt = Ckt::with_config(6, cfg);
+    let net = ckt.push_net();
+    // A two-factor group (the default cap), one gate controlled: the
+    // fused signature spans controls and targets.
+    ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+    ckt.insert_gate(GateKind::Ch, net, &[4, 2]).unwrap();
+    // First update builds the fused cache and materializes the buffers.
+    ckt.update_state();
+    let pids = test_support::mxv_partitions(&ckt);
+    assert!(!pids.is_empty());
+    // One more warm pass outside the measurement window (owner-index
+    // entries and lazily sized scratch reach steady state).
+    test_support::reexec_mxv_partitions(&ckt, &pids);
+    let before = CountingAlloc::alloc_calls();
+    test_support::reexec_mxv_partitions(&ckt, &pids);
+    let after = CountingAlloc::alloc_calls();
+    assert_eq!(
+        after - before,
+        0,
+        "warm fused MxV re-execution must not touch the heap"
+    );
+    // And the state is still right: H(1) · CH(4,2) on |0…0⟩ puts equal
+    // weight on |000000⟩ and |000010⟩.
+    let inv = 1.0 / 2.0f64.sqrt();
+    assert!((ckt.amplitude(0).re - inv).abs() < 1e-12);
+    assert!((ckt.amplitude(2).re - inv).abs() < 1e-12);
+    assert!(ckt.probability(1 << 2) < 1e-20);
+}
+
+/// The full `update_state` of a repeated incremental toggle stays cheap
+/// too: the fused cache rebuilds only when the factor group changes.
+#[test]
+fn fused_cache_survives_unrelated_updates() {
+    let mut cfg = SimConfig::with_block_size(8);
+    cfg.num_threads = 1;
+    let mut ckt = Ckt::with_config(6, cfg);
+    let net = ckt.push_net();
+    ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+    let tail = ckt.push_net();
+    ckt.update_state();
+    // Toggling a later linear gate must not disturb the MxV row's warm
+    // buffers or require re-resolving more than the dirty partitions.
+    for _ in 0..3 {
+        let gid = ckt.insert_gate(GateKind::Z, tail, &[0]).unwrap();
+        let report = ckt.update_state();
+        assert!(report.partitions_executed > 0);
+        ckt.remove_gate(gid).unwrap();
+        // Removing the tail row leaves no dirty successors: the update is
+        // a no-op and queries see through the cleared COW layer.
+        ckt.update_state();
+    }
+    let inv = 1.0 / 2.0f64.sqrt();
+    assert!((ckt.amplitude(0).re - inv).abs() < 1e-12);
+    assert!((ckt.amplitude(1).re - inv).abs() < 1e-12);
+}

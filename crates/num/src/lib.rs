@@ -5,11 +5,13 @@
 //! unitary matrices. [`dense`] provides naive full-size matrices built by
 //! Kronecker products — exponential in qubit count, intended for the test
 //! oracle and for validating the on-the-fly row derivation of the core
-//! engine (paper §III-C).
+//! engine (paper §III-C). [`slices`] provides the batched (autovectorized)
+//! whole-run primitives behind the engine's and the baselines' kernels.
 
 pub mod complex;
 pub mod dense;
 pub mod mat;
+pub mod slices;
 pub mod vecops;
 
 pub use complex::{c64, Complex64};

@@ -7,13 +7,75 @@
 
 use crate::ops::{lower_gate, LinearOp, LoweredGate};
 use qtask_gates::GateKind;
-use qtask_num::{Complex64, Mat2};
+use qtask_num::{slices, Complex64, Mat2};
 
-/// Applies a linear op to the whole state, serially.
+/// Applies a linear op to the whole state, serially, via the batched
+/// run-decomposed kernels.
 pub fn apply_linear(op: &LinearOp, n_qubits: u8, state: &mut [Complex64]) {
     debug_assert_eq!(state.len(), 1usize << n_qubits);
     let pattern = op.pattern(n_qubits);
-    apply_linear_ranks(op, n_qubits, state, 0..pattern.num_items());
+    apply_linear_runs(op, n_qubits, state, 0..pattern.num_items());
+}
+
+/// Scales a contiguous run whose first element has global state index
+/// `start`: elements whose `target` bit is 0 scale by `d0`, the rest by
+/// `d1`. The run decomposes into aligned stretches of `2^target` elements
+/// sharing one factor, each scaled as a slice.
+pub fn scale_diag_run(
+    run: &mut [Complex64],
+    start: usize,
+    target: u8,
+    d0: Complex64,
+    d1: Complex64,
+) {
+    let period = 1usize << target;
+    let mut i = 0;
+    while i < run.len() {
+        let idx = start + i;
+        let d = if idx & period != 0 { d1 } else { d0 };
+        let stretch = (period - (idx & (period - 1))).min(run.len() - i);
+        slices::scale_slice(&mut run[i..i + stretch], d);
+        i += stretch;
+    }
+}
+
+/// Applies a linear op's rank range through the batched path: the range
+/// decomposes into contiguous low-index runs ([`ItemPattern::iter_runs`])
+/// applied as whole-slice scales/butterflies. Falls back to the scalar
+/// item loop when runs degenerate to single items. Result is amplitude-
+/// identical to [`apply_linear_ranks`] (same operations, same order).
+///
+/// [`ItemPattern::iter_runs`]: crate::pattern::ItemPattern::iter_runs
+pub fn apply_linear_runs(
+    op: &LinearOp,
+    n_qubits: u8,
+    state: &mut [Complex64],
+    ranks: std::ops::Range<u64>,
+) {
+    let pattern = op.pattern(n_qubits);
+    if pattern.run_len_log2() == 0 {
+        return apply_linear_ranks(op, n_qubits, state, ranks);
+    }
+    for run in pattern.iter_runs(ranks) {
+        let (low, len) = (run.low_start as usize, run.len as usize);
+        match *op {
+            LinearOp::Diag { target, d0, d1, .. } => {
+                scale_diag_run(&mut state[low..low + len], low, target, d0, d1);
+            }
+            LinearOp::AntiDiag { a01, a10, .. } => {
+                let high = pattern.partner(run.low_start) as usize;
+                debug_assert!(low + len <= high);
+                let (a, b) = state.split_at_mut(high);
+                slices::butterfly_slices(&mut a[low..low + len], &mut b[..len], a01, a10);
+            }
+            LinearOp::Swap { .. } => {
+                let high = pattern.partner(run.low_start) as usize;
+                debug_assert!(low + len <= high);
+                let (a, b) = state.split_at_mut(high);
+                a[low..low + len].swap_with_slice(&mut b[..len]);
+            }
+        }
+    }
 }
 
 /// Applies a linear op to the items in `ranks` only. Disjoint rank ranges
@@ -44,10 +106,11 @@ pub fn dense_pattern(controls: u64, target: u8, n_qubits: u8) -> crate::pattern:
     }
 }
 
-/// Applies a dense (superposing) single-target gate by butterfly update.
+/// Applies a dense (superposing) single-target gate by batched butterfly
+/// update.
 pub fn apply_dense(controls: u64, target: u8, mat: &Mat2, n_qubits: u8, state: &mut [Complex64]) {
     let pattern = dense_pattern(controls, target, n_qubits);
-    apply_dense_ranks(
+    apply_dense_runs(
         controls,
         target,
         mat,
@@ -55,6 +118,39 @@ pub fn apply_dense(controls: u64, target: u8, mat: &Mat2, n_qubits: u8, state: &
         state,
         0..pattern.num_items(),
     );
+}
+
+/// Applies a dense gate's pair ranks through the batched path: whole-run
+/// 2×2 butterflies over the two slices of each run. Amplitude-identical
+/// to [`apply_dense_ranks`].
+pub fn apply_dense_runs(
+    controls: u64,
+    target: u8,
+    mat: &Mat2,
+    n_qubits: u8,
+    state: &mut [Complex64],
+    ranks: std::ops::Range<u64>,
+) {
+    debug_assert_eq!(state.len(), 1usize << n_qubits);
+    let pattern = dense_pattern(controls, target, n_qubits);
+    if pattern.run_len_log2() == 0 {
+        return apply_dense_ranks(controls, target, mat, n_qubits, state, ranks);
+    }
+    let tbit = 1usize << target;
+    for run in pattern.iter_runs(ranks) {
+        let (low, len) = (run.low_start as usize, run.len as usize);
+        let high = low | tbit;
+        debug_assert!(low + len <= high);
+        let (a, b) = state.split_at_mut(high);
+        slices::mat2_butterfly_slices(
+            &mut a[low..low + len],
+            &mut b[..len],
+            mat.at(0, 0),
+            mat.at(0, 1),
+            mat.at(1, 0),
+            mat.at(1, 1),
+        );
+    }
 }
 
 /// Applies a dense gate to the pair ranks in `ranks` only; disjoint rank
@@ -170,6 +266,80 @@ mod tests {
                 vecops::approx_eq(&state, &want, 1e-10),
                 "{kind:?} on {qubits:?}: max diff {}",
                 vecops::max_abs_diff(&state, &want)
+            );
+        }
+    }
+
+    /// The batched run kernels must agree with the scalar item loop on
+    /// every op shape, including degenerate-run (target/control at bit 0)
+    /// and clipped-subrange cases.
+    #[test]
+    fn batched_runs_match_scalar_ranks() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..300u64 {
+            let n = rng.random_range(2..=9u8);
+            let target = rng.random_range(0..n);
+            let mut controls = 0u64;
+            for q in 0..n {
+                if q != target && rng.random_bool(0.25) {
+                    controls |= 1 << q;
+                }
+            }
+            let mut scalar = random_state(n, 7000 + case);
+            let mut batched = scalar.clone();
+            let choice = rng.random_range(0..4);
+            if choice == 3 {
+                // Dense gate.
+                let mat = GateKind::U3(0.4, 1.1, -0.6).base_matrix().unwrap();
+                let pattern = dense_pattern(controls, target, n);
+                let total = pattern.num_items();
+                let a = rng.random_range(0..=total);
+                let b = rng.random_range(0..=total);
+                let ranks = a.min(b)..a.max(b);
+                apply_dense_ranks(controls, target, &mat, n, &mut scalar, ranks.clone());
+                apply_dense_runs(controls, target, &mat, n, &mut batched, ranks);
+            } else {
+                let op = match choice {
+                    0 => LinearOp::Diag {
+                        controls,
+                        target,
+                        d0: Complex64::exp_i(-0.3),
+                        d1: Complex64::exp_i(0.7),
+                    },
+                    1 => LinearOp::AntiDiag {
+                        controls,
+                        target,
+                        a01: Complex64::exp_i(0.2),
+                        a10: Complex64::exp_i(-1.1),
+                    },
+                    _ => {
+                        let candidates: Vec<u8> = (0..n)
+                            .filter(|q| *q != target && controls & (1 << q) == 0)
+                            .collect();
+                        let Some(&other) = (!candidates.is_empty())
+                            .then(|| &candidates[rng.random_range(0..candidates.len())])
+                        else {
+                            continue;
+                        };
+                        LinearOp::Swap {
+                            controls,
+                            t_lo: target.min(other),
+                            t_hi: target.max(other),
+                        }
+                    }
+                };
+                let total = op.pattern(n).num_items();
+                let a = rng.random_range(0..=total);
+                let b = rng.random_range(0..=total);
+                let ranks = a.min(b)..a.max(b);
+                apply_linear_ranks(&op, n, &mut scalar, ranks.clone());
+                apply_linear_runs(&op, n, &mut batched, ranks);
+            }
+            assert!(
+                vecops::approx_eq(&scalar, &batched, 1e-14),
+                "case {case}: max diff {}",
+                vecops::max_abs_diff(&scalar, &batched)
             );
         }
     }

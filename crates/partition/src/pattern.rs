@@ -71,6 +71,31 @@ impl ItemPattern {
         self.partner(low).max(low)
     }
 
+    /// log2 of the maximal run length: the number of free bits forming a
+    /// contiguous span at bit 0. Within an aligned chunk of `2^r` ranks the
+    /// scattered bits land in positions `0..r`, so consecutive ranks map to
+    /// *consecutive* low indices — a run the batched kernels process as one
+    /// slice. Zero means every run is a single item (the scalar case).
+    #[inline]
+    pub fn run_len_log2(&self) -> u32 {
+        self.free_mask.trailing_ones()
+    }
+
+    /// Decomposes the rank range into maximal contiguous low-index runs.
+    ///
+    /// Each yielded [`Run`] satisfies `nth_low(rank_start + j) ==
+    /// low_start + j` for `j < len`; for pair patterns the partners are
+    /// `partner(low_start) + j` (the partner masks only touch bits at or
+    /// above [`Self::run_len_log2`], so both sides advance in lockstep).
+    pub fn iter_runs(&self, ranks: std::ops::Range<u64>) -> RunIter {
+        RunIter {
+            pattern: *self,
+            rank: ranks.start,
+            end: ranks.end.max(ranks.start),
+            span: 1u64 << self.run_len_log2(),
+        }
+    }
+
     /// Iterates the low indices of items `ranks.start..ranks.end` in
     /// order, O(1) per step.
     pub fn iter_lows(&self, ranks: std::ops::Range<u64>) -> LowIter {
@@ -116,6 +141,49 @@ impl Iterator for LowIter {
 }
 
 impl ExactSizeIterator for LowIter {}
+
+/// One contiguous run of a pattern: `len` consecutive ranks mapping to
+/// `len` consecutive low indices starting at `low_start`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// First item rank of the run.
+    pub rank_start: u64,
+    /// Number of items (consecutive ranks and consecutive lows).
+    pub len: u64,
+    /// Low index of the first item.
+    pub low_start: u64,
+}
+
+/// Iterator over the maximal contiguous runs of a rank range
+/// ([`ItemPattern::iter_runs`]). A clipped first/last run is simply
+/// shorter; interior runs have the full `2^run_len_log2` length.
+pub struct RunIter {
+    pattern: ItemPattern,
+    rank: u64,
+    end: u64,
+    span: u64,
+}
+
+impl Iterator for RunIter {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        if self.rank >= self.end {
+            return None;
+        }
+        let rank_start = self.rank;
+        // Runs break at aligned multiples of the span: the carry out of
+        // the contiguous low free bits lands in a non-adjacent position.
+        let boundary = (rank_start / self.span + 1) * self.span;
+        let len = boundary.min(self.end) - rank_start;
+        self.rank = rank_start + len;
+        Some(Run {
+            rank_start,
+            len,
+            low_start: self.pattern.nth_low(rank_start),
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -209,6 +277,77 @@ mod tests {
         let p = pattern(0b10000, 0b00111, 0, 0b01000);
         assert_eq!(p.nth_max_index(0), 24);
         assert_eq!(p.nth_max_index(7), 31);
+    }
+
+    #[test]
+    fn runs_cover_lows_exactly() {
+        // free bits {0,1,2, 4} -> runs of 8 consecutive lows.
+        let p = pattern(0b0100_0000, 0b0001_0111, 0, 0);
+        assert_eq!(p.run_len_log2(), 3);
+        let runs: Vec<Run> = p.iter_runs(0..p.num_items()).collect();
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            for j in 0..run.len {
+                assert_eq!(p.nth_low(run.rank_start + j), run.low_start + j);
+            }
+        }
+        // Clipped sub-range: first and last runs shorten, interior intact.
+        let sub: Vec<Run> = p.iter_runs(3..14).collect();
+        assert_eq!(
+            sub.iter()
+                .map(|r| (r.rank_start, r.len))
+                .collect::<Vec<_>>(),
+            vec![(3, 5), (8, 6)]
+        );
+        for run in &sub {
+            for j in 0..run.len {
+                assert_eq!(p.nth_low(run.rank_start + j), run.low_start + j);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_degenerate_to_items_when_bit0_not_free() {
+        let p = pattern(0b001, 0b110, 0, 0);
+        assert_eq!(p.run_len_log2(), 0);
+        let runs: Vec<Run> = p.iter_runs(0..p.num_items()).collect();
+        assert_eq!(runs.len(), 4);
+        assert!(runs.iter().all(|r| r.len == 1));
+    }
+
+    #[test]
+    fn run_partners_advance_in_lockstep() {
+        // CNOT-style pair pattern: target bit above the contiguous span.
+        let p = pattern(0b100000, 0b000111, 0, 0b001000);
+        for run in p.iter_runs(0..p.num_items()) {
+            let base = p.partner(run.low_start);
+            for j in 0..run.len {
+                assert_eq!(p.partner(run.low_start + j), base + j);
+            }
+        }
+    }
+
+    #[test]
+    fn random_runs_against_iter_lows() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let n = rng.random_range(1..=12u8);
+            let universe = (1u64 << n) - 1;
+            let free = rng.random::<u64>() & universe;
+            let base = rng.random::<u64>() & universe & !free;
+            let p = pattern(base, free, 0, 0);
+            let total = p.num_items();
+            let a = rng.random_range(0..=total);
+            let b = rng.random_range(0..=total);
+            let (start, end) = (a.min(b), a.max(b));
+            let from_runs: Vec<u64> = p
+                .iter_runs(start..end)
+                .flat_map(|r| (0..r.len).map(move |j| r.low_start + j))
+                .collect();
+            let from_iter: Vec<u64> = p.iter_lows(start..end).collect();
+            assert_eq!(from_runs, from_iter, "base={base:b} free={free:b}");
+        }
     }
 
     #[test]

@@ -73,9 +73,13 @@ struct DoneGate {
 }
 
 struct RunCtx {
+    // The boxes are load-bearing: `succs`/`parent` hold raw pointers into
+    // the nodes, so their addresses must survive vector growth.
     /// Keep-alive storage for the static run nodes.
+    #[allow(clippy::vec_box)]
     _static_nodes: Vec<Box<RunNode>>,
     /// Keep-alive storage for dynamically spawned children.
+    #[allow(clippy::vec_box)]
     dynamic_nodes: Mutex<Vec<Box<RunNode>>>,
     /// Tasks not yet completed (grows when subflows spawn children).
     pending: AtomicUsize,

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static CALLS: AtomicUsize = AtomicUsize::new(0);
 
 /// Global allocator wrapper that tracks live and peak allocated bytes.
 ///
@@ -37,9 +38,17 @@ impl CountingAlloc {
     pub fn reset_peak() {
         PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
     }
+
+    /// Total allocation calls (alloc/alloc_zeroed/realloc) since process
+    /// start. The delta around a code region counts its heap traffic —
+    /// how the zero-allocation hot-path tests measure "zero".
+    pub fn alloc_calls() -> usize {
+        CALLS.load(Ordering::Relaxed)
+    }
 }
 
 fn on_alloc(size: usize) {
+    CALLS.fetch_add(1, Ordering::Relaxed);
     let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
     // Racy max-update is fine: the peak is a diagnostic, and updates are
     // monotone under fetch_max.
@@ -107,9 +116,11 @@ mod tests {
     #[test]
     fn counters_move() {
         let before = CountingAlloc::live_bytes();
+        let calls_before = CountingAlloc::alloc_calls();
         on_alloc(1024);
         assert!(CountingAlloc::live_bytes() >= before + 1024);
         assert!(CountingAlloc::peak_bytes() >= before + 1024);
+        assert!(CountingAlloc::alloc_calls() > calls_before);
         on_dealloc(1024);
         assert_eq!(CountingAlloc::live_bytes(), before);
     }

@@ -79,6 +79,20 @@ impl<'a, T> DisjointSlice<'a, T> {
         // SAFETY: caller guarantees bounds and no concurrent writer.
         unsafe { *self.ptr.add(index) }
     }
+
+    /// An exclusive sub-slice — how the batched kernels run whole
+    /// contiguous index runs through the view.
+    ///
+    /// # Safety
+    /// `range` in bounds, and for the returned borrow's lifetime no other
+    /// access (through this or any copy of the view) overlaps `range`.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the view is a token for disjoint &mut access
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: caller guarantees bounds and exclusivity of the range.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
 }
 
 impl<T> Clone for DisjointSlice<'_, T> {
@@ -104,6 +118,18 @@ mod tests {
         }
         // (DisjointSlice is Copy; the borrow ends at its last use.)
         assert_eq!(buf[3], 9);
+    }
+
+    #[test]
+    fn slice_mut_roundtrip() {
+        let mut buf = vec![0u64; 16];
+        let view = DisjointSlice::new(&mut buf);
+        unsafe {
+            view.slice_mut(4..8).copy_from_slice(&[1, 2, 3, 4]);
+        }
+        assert_eq!(&buf[4..8], &[1, 2, 3, 4]);
+        assert_eq!(buf[3], 0);
+        assert_eq!(buf[8], 0);
     }
 
     #[test]
