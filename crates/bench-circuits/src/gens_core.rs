@@ -75,7 +75,7 @@ pub fn bv(n: u8) -> Circuit {
     b.finish()
 }
 
-/// Cuccaro ripple-carry adder on `n = 2k+2` qubits (cin, a[k], b[k],
+/// Cuccaro ripple-carry adder on `n = 2k+2` qubits (cin, `a[k]`, `b[k]`,
 /// cout), Toffolis decomposed. With the input-initializing X gates this
 /// reproduces adder(10) = 142/65 and big_adder(18) = 284/129 (paper: 130).
 pub fn adder(n: u8) -> Circuit {

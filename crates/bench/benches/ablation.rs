@@ -13,7 +13,7 @@
 //!   the isolated kernel-layer numbers).
 
 use qtask_bench::*;
-use qtask_core::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig};
+use qtask_core::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
 use qtask_taskflow::Executor;
 use std::sync::Arc;
 
@@ -100,6 +100,22 @@ fn main() {
             println!(
                 "{name:<12} {:<12} {full:>12.2} {inc:>12.2}",
                 format!("{resolve:?}")
+            );
+        }
+    }
+
+    println!("\nSnapshot policy (MVCC publication at every update vs none):");
+    println!(
+        "{:<12} {:<12} {:>12} {:>12}",
+        "circuit", "policy", "full (ms)", "inc (ms)"
+    );
+    for name in ["qft", "big_adder", "vqe_uccsd"] {
+        for snapshots in [SnapshotPolicy::Publish, SnapshotPolicy::Disabled] {
+            let config = SimConfig::default().with_snapshots(snapshots);
+            let (full, inc) = measure(&opts, &ex, name, &config);
+            println!(
+                "{name:<12} {:<12} {full:>12.2} {inc:>12.2}",
+                format!("{snapshots:?}")
             );
         }
     }

@@ -116,6 +116,7 @@ fn bench_query(c: &mut Criterion) {
     let circuit = qtask_bench_circuits::build("qft", Some(14)).unwrap();
     let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
     ckt.update_state();
+    let snap = ckt.latest_snapshot().expect("update publishes");
     let mut g = c.benchmark_group("query");
     g.sample_size(20);
     g.bench_function("amplitude_resolve_qft14", |b| {
@@ -123,6 +124,81 @@ fn bench_query(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 4097) & ((1 << 14) - 1);
             black_box(ckt.amplitude(i))
+        })
+    });
+    g.bench_function("amplitude_snapshot_qft14", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 4097) & ((1 << 14) - 1);
+            black_box(snap.amplitude(i))
+        })
+    });
+    g.finish();
+}
+
+/// The MVCC payoff: N threads sweep amplitudes of one published snapshot
+/// concurrently while the main thread keeps editing + republishing. The
+/// live `&Ckt` query path cannot run this protocol at all (readers would
+/// serialize behind the writer's `&mut`), so the series measures reader
+/// scaling of the snapshot surface plus writer-isolation overhead.
+fn bench_snapshot_readers(c: &mut Criterion) {
+    let circuit = qtask_bench_circuits::build("qft", Some(14)).unwrap();
+    let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
+    let extra_net = ckt.push_net();
+    ckt.update_state();
+    let mut g = c.benchmark_group("snapshot_readers");
+    g.sample_size(10);
+    const READS: usize = 20_000;
+    let sweep = |snap: &qtask_core::StateSnapshot, salt: usize| {
+        let mask = snap.state_len() - 1;
+        let mut acc = 0.0f64;
+        let mut i = salt;
+        for _ in 0..READS {
+            i = (i + 4097) & mask;
+            acc += snap.amplitude(i).norm_sqr();
+        }
+        acc
+    };
+    for readers in [1usize, 2, 4, 8] {
+        let snap = ckt.latest_snapshot().expect("update publishes");
+        g.bench_function(format!("{READS}_reads_x{readers}_threads"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..readers)
+                        .map(|r| {
+                            let snap = snap.clone();
+                            scope.spawn(move || sweep(&snap, r * 31))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("reader"))
+                        .sum::<f64>()
+                })
+            })
+        });
+    }
+    // Readers on version v while the writer toggles and republishes v+1,
+    // v+2, …: the isolation case (pinned blocks fork on rewrite).
+    let pinned = ckt.latest_snapshot().expect("update publishes");
+    g.bench_function(format!("{READS}_reads_x4_threads_while_writing"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|r| {
+                        let snap = pinned.clone();
+                        scope.spawn(move || sweep(&snap, r * 31))
+                    })
+                    .collect();
+                let gid = ckt.insert_gate(GateKind::Z, extra_net, &[0]).unwrap();
+                ckt.update_state();
+                ckt.remove_gate(gid).unwrap();
+                ckt.update_state();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("reader"))
+                    .sum::<f64>()
+            })
         })
     });
     g.finish();
@@ -209,6 +285,7 @@ criterion_group!(
     bench_executor,
     bench_incremental_update,
     bench_query,
+    bench_snapshot_readers,
     bench_deep_chain_resolution
 );
 criterion_main!(benches);

@@ -180,12 +180,23 @@ impl Simulator for CktSim {
         self.ckt.update_state();
     }
 
+    // Queries go through the published snapshot when one exists — the
+    // concurrent-read surface the MVCC redesign added — so the measured
+    // protocol prices snapshot capture *and* snapshot reads; the live
+    // lazy path stays as the pre-update fallback.
+
     fn amplitude(&self, idx: usize) -> Complex64 {
-        self.ckt.amplitude(idx)
+        match self.ckt.latest_snapshot() {
+            Some(snap) => snap.amplitude(idx),
+            None => self.ckt.amplitude(idx),
+        }
     }
 
     fn state_vec(&self) -> Vec<Complex64> {
-        self.ckt.state()
+        match self.ckt.latest_snapshot() {
+            Some(snap) => snap.state(),
+            None => self.ckt.state(),
+        }
     }
 
     fn num_gates(&self) -> usize {

@@ -11,6 +11,10 @@
 //! [`builder::CircuitBuilder`] offers the conventional "append gates,
 //! auto-levelize" construction used when lowering QASM programs — each
 //! level becomes one net, the convention the paper follows for QASMBench.
+//!
+//! [`txn::StagedBatch`] stages a sequence of modifiers against a shadow
+//! clone for all-or-nothing application — the circuit-level half of the
+//! engine's transactional `edit` API.
 
 pub mod builder;
 pub mod circuit;
@@ -18,12 +22,14 @@ pub mod dot;
 pub mod error;
 pub mod gate;
 pub mod stats;
+pub mod txn;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, GateId, Net, NetId};
 pub use error::CircuitError;
 pub use gate::Gate;
 pub use stats::CircuitStats;
+pub use txn::{EditOp, StagedBatch};
 
 /// Maximum supported qubit count. State indices are `usize` and qubit
 /// masks are `u64`; 30 qubits (16 GiB of amplitudes) is already beyond

@@ -1,0 +1,234 @@
+//! Staged circuit edits: the all-or-nothing building block behind the
+//! engine's transactional `edit` API.
+//!
+//! A [`StagedBatch`] records modifiers against a **shadow clone** of the
+//! circuit instead of the circuit itself. Every staged call is validated
+//! immediately (stale handles, qubit ranges, intra-net conflicts fail
+//! right here, with the usual [`CircuitError`]), but the original circuit
+//! is never touched — a failed batch is simply dropped.
+//!
+//! # Id determinism
+//!
+//! The ids a staged call returns are not provisional: they are exactly
+//! the ids the same operation sequence produces when later replayed on
+//! the original circuit. This holds because [`Circuit`] allocates handles
+//! from generational arenas whose free lists are LIFO and cloned
+//! verbatim, so a clone replays id allocation deterministically. Callers
+//! can therefore capture staged [`GateId`]s/[`NetId`]s and use them
+//! directly after the batch commits.
+
+use crate::circuit::{Circuit, GateId, NetId};
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use qtask_gates::GateKind;
+
+/// One staged circuit modifier, in the order it was issued.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditOp {
+    /// Insert an empty net at the front.
+    InsertNetFront,
+    /// Append an empty net at the back.
+    PushNet,
+    /// Insert an empty net right after the given net.
+    InsertNetAfter(NetId),
+    /// Insert an empty net right before the given net.
+    InsertNetBefore(NetId),
+    /// Remove a net and all its gates.
+    RemoveNet(NetId),
+    /// Insert a gate into a net. The [`Gate`] carries kind + operands in
+    /// its inline representation, so staging allocates nothing per gate.
+    InsertGate {
+        /// The destination net.
+        net: NetId,
+        /// The gate (kind plus operands, controls first).
+        gate: Gate,
+    },
+    /// Remove a gate.
+    RemoveGate(GateId),
+}
+
+/// An ordered batch of circuit modifiers staged against a shadow clone.
+///
+/// Build one with [`StagedBatch::new`], issue modifiers through the
+/// methods below (each validates eagerly and returns real ids — see the
+/// module docs), then hand [`StagedBatch::into_ops`] to whoever owns the
+/// original circuit for replay. Dropping the batch aborts it.
+pub struct StagedBatch {
+    shadow: Circuit,
+    ops: Vec<EditOp>,
+}
+
+impl StagedBatch {
+    /// Starts a batch against a shadow clone of `circuit`.
+    pub fn new(circuit: &Circuit) -> StagedBatch {
+        StagedBatch {
+            shadow: circuit.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The shadow circuit: the original plus every staged op so far.
+    /// Read-only — queries here let a caller inspect the would-be state
+    /// mid-batch.
+    pub fn shadow(&self) -> &Circuit {
+        &self.shadow
+    }
+
+    /// Ops staged so far, in issue order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Number of staged ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Consumes the batch, returning the validated op sequence.
+    pub fn into_ops(self) -> Vec<EditOp> {
+        self.ops
+    }
+
+    /// Stages an empty net at the front.
+    pub fn insert_net_front(&mut self) -> NetId {
+        let id = self.shadow.insert_net_front();
+        self.ops.push(EditOp::InsertNetFront);
+        id
+    }
+
+    /// Stages an empty net at the back.
+    pub fn push_net(&mut self) -> NetId {
+        let id = self.shadow.push_net();
+        self.ops.push(EditOp::PushNet);
+        id
+    }
+
+    /// Stages an empty net right after `after`.
+    pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
+        let id = self.shadow.insert_net_after(after)?;
+        self.ops.push(EditOp::InsertNetAfter(after));
+        Ok(id)
+    }
+
+    /// Stages an empty net right before `before`.
+    pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
+        let id = self.shadow.insert_net_before(before)?;
+        self.ops.push(EditOp::InsertNetBefore(before));
+        Ok(id)
+    }
+
+    /// Stages the removal of a net and all its gates.
+    pub fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
+        self.shadow.remove_net(net)?;
+        self.ops.push(EditOp::RemoveNet(net));
+        Ok(())
+    }
+
+    /// Stages a gate insertion, validating range and net-conflict rules
+    /// against the shadow (which already reflects earlier staged ops).
+    pub fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError> {
+        let id = self.shadow.insert_gate(kind, net, qubits)?;
+        let gate = *self.shadow.gate(id).expect("gate just inserted");
+        self.ops.push(EditOp::InsertGate { net, gate });
+        Ok(id)
+    }
+
+    /// Stages a gate removal.
+    pub fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
+        self.shadow.remove_gate(gate)?;
+        self.ops.push(EditOp::RemoveGate(gate));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_ids_match_replay_on_original() {
+        let mut original = Circuit::new(4);
+        let net = original.push_net();
+        let keep = original.insert_gate(GateKind::H, net, &[0]).unwrap();
+        let drop_me = original.insert_gate(GateKind::X, net, &[1]).unwrap();
+        original.remove_gate(drop_me).unwrap();
+
+        // Stage a batch: the ids it hands out must equal what replaying
+        // the same ops on the original produces.
+        let mut batch = StagedBatch::new(&original);
+        let staged_net = batch.push_net();
+        let staged_gate = batch
+            .insert_gate(GateKind::Cx, staged_net, &[0, 1])
+            .unwrap();
+        batch.remove_gate(keep).unwrap();
+        let reuse_slot = batch.insert_gate(GateKind::Z, net, &[3]).unwrap();
+        let ops = batch.into_ops();
+        assert_eq!(ops.len(), 4);
+
+        let mut replayed_net = None;
+        let mut replayed_gate = None;
+        let mut replayed_reuse = None;
+        for op in &ops {
+            match op {
+                EditOp::PushNet => replayed_net = Some(original.push_net()),
+                EditOp::InsertGate { net, gate } => {
+                    let id = original
+                        .insert_gate(gate.kind(), *net, gate.qubits())
+                        .unwrap();
+                    if replayed_gate.is_none() {
+                        replayed_gate = Some(id);
+                    } else {
+                        replayed_reuse = Some(id);
+                    }
+                }
+                EditOp::RemoveGate(g) => {
+                    original.remove_gate(*g).unwrap();
+                }
+                _ => unreachable!("not staged by this test"),
+            }
+        }
+        assert_eq!(replayed_net, Some(staged_net));
+        assert_eq!(replayed_gate, Some(staged_gate));
+        assert_eq!(replayed_reuse, Some(reuse_slot));
+    }
+
+    #[test]
+    fn failed_stage_leaves_original_untouched() {
+        let mut original = Circuit::new(3);
+        let net = original.push_net();
+        original.insert_gate(GateKind::H, net, &[0]).unwrap();
+
+        let mut batch = StagedBatch::new(&original);
+        batch.insert_gate(GateKind::X, net, &[1]).unwrap();
+        // Conflicts with the staged X on qubit 1 — rejected eagerly.
+        let err = batch.insert_gate(GateKind::Cx, net, &[1, 2]).unwrap_err();
+        assert_eq!(err, CircuitError::NetConflict { qubit: 1 });
+        // The original never saw any of it.
+        assert_eq!(original.num_gates(), 1);
+        drop(batch);
+        assert_eq!(original.num_gates(), 1);
+    }
+
+    #[test]
+    fn staged_removal_of_staled_handle_fails() {
+        let mut original = Circuit::new(2);
+        let net = original.push_net();
+        let g = original.insert_gate(GateKind::H, net, &[0]).unwrap();
+        original.remove_gate(g).unwrap();
+        let mut batch = StagedBatch::new(&original);
+        assert_eq!(batch.remove_gate(g), Err(CircuitError::StaleGate));
+        assert_eq!(batch.remove_net(net), Ok(()));
+        assert_eq!(batch.remove_net(net), Err(CircuitError::StaleNet));
+        assert_eq!(batch.ops().len(), 1);
+    }
+}

@@ -37,6 +37,25 @@ pub enum KernelPolicy {
     Scalar,
 }
 
+/// Whether [`crate::Ckt::update_state`] publishes a
+/// [`crate::StateSnapshot`] of the resolved state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotPolicy {
+    /// Publish a fresh snapshot at every update (incremental capture:
+    /// only the update's write set is re-resolved). The default — this is
+    /// what lets readers on other threads query version *v* while the
+    /// writer builds *v+1*. While an external reader holds the previous
+    /// snapshot, re-executed blocks copy-on-write fork instead of reusing
+    /// their buffers (isolation costs the reader's pins, nothing else).
+    Publish,
+    /// Never publish. [`crate::Ckt::snapshot`] still captures one-off
+    /// snapshots on demand, but the engine retains no reference, so no
+    /// block is ever pinned and the warm update path stays
+    /// allocation-free unconditionally. For the ablation bench and
+    /// allocation-profile tests.
+    Disabled,
+}
+
 /// Tunables of a [`crate::Ckt`].
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -62,6 +81,8 @@ pub struct SimConfig {
     pub resolve: ResolvePolicy,
     /// How partition tasks apply gate arithmetic (see `DESIGN.md`).
     pub kernels: KernelPolicy,
+    /// Whether updates publish [`crate::StateSnapshot`]s (see `DESIGN.md`).
+    pub snapshots: SnapshotPolicy,
 }
 
 impl Default for SimConfig {
@@ -73,6 +94,7 @@ impl Default for SimConfig {
             mxv_group_max: 2,
             resolve: ResolvePolicy::OwnerIndex,
             kernels: KernelPolicy::Batched,
+            snapshots: SnapshotPolicy::Publish,
         }
     }
 }
@@ -105,6 +127,12 @@ impl SimConfig {
         self.kernels = kernels;
         self
     }
+
+    /// This config with the given snapshot policy.
+    pub fn with_snapshots(mut self, snapshots: SnapshotPolicy) -> SimConfig {
+        self.snapshots = snapshots;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -118,10 +146,13 @@ mod tests {
         assert_eq!(c.row_order, RowOrderPolicy::SortedByBlockCount);
         assert_eq!(c.resolve, ResolvePolicy::OwnerIndex);
         assert_eq!(c.kernels, KernelPolicy::Batched);
+        assert_eq!(c.snapshots, SnapshotPolicy::Publish);
         assert!(c.num_threads >= 1);
         let c = c.with_resolve(ResolvePolicy::ChainWalk);
         assert_eq!(c.resolve, ResolvePolicy::ChainWalk);
         let c = c.with_kernels(KernelPolicy::Scalar);
         assert_eq!(c.kernels, KernelPolicy::Scalar);
+        let c = c.with_snapshots(SnapshotPolicy::Disabled);
+        assert_eq!(c.snapshots, SnapshotPolicy::Disabled);
     }
 }

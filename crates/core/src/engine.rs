@@ -1,10 +1,12 @@
 //! The [`Ckt`] engine: modifiers, frontier bookkeeping, incremental update.
 
-use crate::config::{KernelPolicy, RowOrderPolicy, SimConfig};
-use crate::cow::RowVector;
+use crate::config::{KernelPolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
+use crate::cow::{BlockData, RowVector};
 use crate::exec::{self, ExecView};
 use crate::owners::{OwnerIndex, ResolveStats};
+use crate::queries::QueryReport;
 use crate::row::{DenseFactor, PartId, Partition, Row, RowId, RowKind};
+use crate::snapshot::{SnapInner, StateSnapshot};
 use qtask_circuit::{Circuit, CircuitError, Gate, GateId, NetId};
 use qtask_gates::GateKind;
 use qtask_partition::{derive_partitions, BlockGeometry, LoweredGate, PartitionSpec};
@@ -72,6 +74,12 @@ pub struct UpdateReport {
     /// binary-search steps (owner index). `owner_probes /
     /// blocks_resolved` is the per-lookup cost the owner index flattens.
     pub owner_probes: u64,
+    /// Blocks re-resolved to publish the [`StateSnapshot`] (0 under
+    /// [`SnapshotPolicy::Disabled`], or when nothing changed). Capture is
+    /// incremental, so this tracks the update's write set, not the state
+    /// size; its resolution work is *not* included in the two counters
+    /// above.
+    pub snapshot_blocks_resolved: u64,
 }
 
 /// The qTask simulator object (paper Listing 1's `qTask ckt(5)`).
@@ -99,6 +107,15 @@ pub struct Ckt {
     pub(crate) resolve_stats: ResolveStats,
     /// Reusable `update_state` allocations (dirty-set DFS + task map).
     scratch: UpdateScratch,
+    /// Last published snapshot (None before the first capture, always
+    /// None under [`SnapshotPolicy::Disabled`]).
+    latest: Option<StateSnapshot>,
+    /// Blocks whose final resolution changed since `latest` was captured
+    /// by means other than partition execution — i.e. blocks a removed
+    /// row owned. Maintained only under [`SnapshotPolicy::Publish`].
+    pub(crate) snap_dirty: HashSet<usize>,
+    /// Snapshot publication counter ([`StateSnapshot::version`]).
+    snapshot_seq: u64,
     gate_seq: u64,
 }
 
@@ -146,6 +163,9 @@ impl Ckt {
             owners: OwnerIndex::new(geom.num_blocks()),
             resolve_stats: ResolveStats::default(),
             scratch: UpdateScratch::default(),
+            latest: None,
+            snap_dirty: HashSet::new(),
+            snapshot_seq: 0,
             gate_seq: 0,
         }
     }
@@ -528,10 +548,25 @@ impl Ckt {
     /// Re-simulates the partitions reachable from the frontier (paper
     /// §III-E). With a freshly built circuit every partition is frontier,
     /// so the first call is a full simulation.
+    ///
+    /// Unless [`SnapshotPolicy::Disabled`], the update also publishes a
+    /// fresh [`StateSnapshot`] ([`Ckt::latest_snapshot`]) of the resolved
+    /// state, so readers on other threads keep querying the previous
+    /// version while this one replaces it.
     pub fn update_state(&mut self) -> UpdateReport {
         let t0 = Instant::now();
+        let publish = self.config.snapshots == SnapshotPolicy::Publish;
         if self.frontier.is_empty() {
-            return UpdateReport::default();
+            // Nothing to execute, but removals may still have changed the
+            // resolved view (a removal needs no simulation): refresh the
+            // snapshot if so, or publish the very first one.
+            let mut report = UpdateReport::default();
+            if publish && (self.latest.is_none() || !self.snap_dirty.is_empty()) {
+                let (spine, resolve_all) = self.detach_spine();
+                report.snapshot_blocks_resolved = self.publish_spine(spine, resolve_all);
+            }
+            report.elapsed = t0.elapsed();
+            return report;
         }
         // DFS over successor edges: the dirty set is successor-closed.
         // The DFS scratch and the partition→task map are cached in
@@ -553,6 +588,27 @@ impl Ckt {
                 stack.extend(self.parts[p.key()].succs.iter().copied());
             }
         }
+        // Detach the previous snapshot spine *before* execution: blocks
+        // this update will rewrite (spans of dirty non-sync partitions,
+        // plus blocks of removed rows) are dropped from the engine's own
+        // copy, so when no external reader shares the snapshot, the
+        // re-executing tasks can reclaim their buffers and the warm
+        // update stays allocation-free. A reader-held snapshot keeps its
+        // pins and the rewritten blocks fork instead — MVCC isolation.
+        let spine = if publish {
+            for &pid in &dirty {
+                let part = &self.parts[pid.key()];
+                if matches!(self.rows[part.row.key()].kind, RowKind::Sync) {
+                    continue; // barriers span everything but own nothing
+                }
+                for b in part.spec.block_lo..=part.spec.block_hi {
+                    self.snap_dirty.insert(b as usize);
+                }
+            }
+            Some(self.detach_spine())
+        } else {
+            None
+        };
         // Refresh the fused MxV operators of dirty rows before the tasks
         // that read them are spawned (serial: the cache is engine state).
         if self.config.kernels == KernelPolicy::Batched {
@@ -636,6 +692,10 @@ impl Ckt {
         self.scratch.dirty = dirty;
         self.scratch.stack = stack;
         self.scratch.task_of = task_of;
+        let snapshot_blocks_resolved = match spine {
+            Some((spine, resolve_all)) => self.publish_spine(spine, resolve_all),
+            None => 0,
+        };
         UpdateReport {
             partitions_executed,
             tasks_executed,
@@ -644,6 +704,113 @@ impl Ckt {
             run_elapsed,
             blocks_resolved,
             owner_probes,
+            snapshot_blocks_resolved,
+        }
+    }
+
+    // ---- snapshot publication -------------------------------------------
+
+    /// The last published [`StateSnapshot`], if any. Cheap (`Arc` clone);
+    /// hand the result to other threads freely.
+    pub fn latest_snapshot(&self) -> Option<StateSnapshot> {
+        self.latest.clone()
+    }
+
+    /// A snapshot of the current resolved state — the same view the live
+    /// queries answer from.
+    ///
+    /// Under [`SnapshotPolicy::Publish`] this returns the latest
+    /// published snapshot, refreshing it first if removals changed the
+    /// resolved view since (or none was ever captured). Under
+    /// [`SnapshotPolicy::Disabled`] it performs a one-off full capture
+    /// that the engine does not retain (no block stays pinned).
+    ///
+    /// Pending *insertions* that have not been simulated yet do not
+    /// appear — like every query, a snapshot reflects the state as of the
+    /// last [`Ckt::update_state`].
+    pub fn snapshot(&mut self) -> StateSnapshot {
+        match self.config.snapshots {
+            SnapshotPolicy::Publish => {
+                if self.latest.is_none() || !self.snap_dirty.is_empty() {
+                    let (spine, resolve_all) = self.detach_spine();
+                    self.publish_spine(spine, resolve_all);
+                }
+                self.latest.clone().expect("snapshot just published")
+            }
+            SnapshotPolicy::Disabled => {
+                let stats = ResolveStats::default();
+                let blocks = (0..self.geom.num_blocks())
+                    .map(|b| self.resolve_final_data(b, &stats))
+                    .collect();
+                self.assemble_snapshot(blocks, &stats)
+            }
+        }
+    }
+
+    /// Takes the previous snapshot's block spine for reuse, dropping the
+    /// entries of every [`Ckt::snap_dirty`] block. When the engine is the
+    /// sole holder the spine is stolen outright (the dropped entries
+    /// unpin their buffers for reclamation); when readers share it, their
+    /// pins survive in their own handle and the engine works on a clone.
+    /// Returns the spine and whether the upcoming capture must resolve
+    /// *every* block (no previous snapshot to reuse).
+    fn detach_spine(&mut self) -> (Vec<Option<BlockData>>, bool) {
+        match self.latest.take() {
+            Some(snap) => {
+                let mut blocks = match Arc::try_unwrap(snap.inner) {
+                    Ok(inner) => inner.blocks,
+                    Err(shared) => shared.blocks.clone(),
+                };
+                for &b in &self.snap_dirty {
+                    blocks[b] = None;
+                }
+                (blocks, false)
+            }
+            None => (vec![None; self.geom.num_blocks()], true),
+        }
+    }
+
+    /// Re-resolves the dirty blocks of `blocks` (or all of them) against
+    /// the current rows, publishes the result as the next snapshot
+    /// version, and clears the dirty set. Returns the number of blocks
+    /// resolved.
+    fn publish_spine(&mut self, mut blocks: Vec<Option<BlockData>>, resolve_all: bool) -> u64 {
+        let stats = ResolveStats::default();
+        if resolve_all {
+            for (b, slot) in blocks.iter_mut().enumerate() {
+                *slot = self.resolve_final_data(b, &stats);
+            }
+        } else {
+            for &b in &self.snap_dirty {
+                blocks[b] = self.resolve_final_data(b, &stats);
+            }
+        }
+        self.snap_dirty.clear();
+        let resolved = stats.snapshot().0;
+        self.latest = Some(self.assemble_snapshot(blocks, &stats));
+        resolved
+    }
+
+    /// Wraps a resolved block spine into the next snapshot version,
+    /// recording the capture work `stats` accumulated. Shared by
+    /// published and one-off captures.
+    fn assemble_snapshot(
+        &mut self,
+        blocks: Vec<Option<BlockData>>,
+        stats: &ResolveStats,
+    ) -> StateSnapshot {
+        let (blocks_resolved, owner_probes) = stats.snapshot();
+        self.snapshot_seq += 1;
+        StateSnapshot {
+            inner: Arc::new(SnapInner {
+                version: self.snapshot_seq,
+                geom: self.geom,
+                blocks,
+                capture_report: QueryReport {
+                    blocks_resolved,
+                    owner_probes,
+                },
+            }),
         }
     }
 

@@ -110,16 +110,21 @@ impl<'a> ExecView<'a> {
 
 /// A small ordered working set of materialized blocks for one task. Each
 /// entry keeps its `Arc` wrapper (uniquely owned by construction), so
-/// publication moves the allocation instead of re-wrapping it.
+/// publication moves the allocation instead of re-wrapping it. The entry
+/// vector itself is borrowed from the partition's scratch pool
+/// ([`Partition::scratch`]) and returned after publication, so warm
+/// re-executions allocate nothing.
 struct BlockSet {
     entries: Vec<(usize, BlockData)>,
 }
 
 impl BlockSet {
-    fn new() -> BlockSet {
-        BlockSet {
-            entries: Vec::with_capacity(4),
-        }
+    /// Pops an entry vector from the partition's pool (or starts an
+    /// empty one the pool will absorb afterwards).
+    fn from_pool(part: &Partition) -> BlockSet {
+        let entries = part.scratch.lock().pop().unwrap_or_default();
+        debug_assert!(entries.is_empty(), "pooled scratch returned drained");
+        BlockSet { entries }
     }
 
     /// Index of block `b`, materializing it from `view` if needed. The
@@ -163,12 +168,14 @@ impl BlockSet {
         }
     }
 
-    /// Publishes every materialized block. Tasks of one partition touch
+    /// Publishes every materialized block and returns the drained entry
+    /// vector to the partition's pool. Tasks of one partition touch
     /// disjoint blocks, so these publications never collide.
-    fn publish(self, view: &ExecView<'_>, row_id: RowId, row: &Row) {
-        for (b, data) in self.entries {
+    fn publish(mut self, view: &ExecView<'_>, row_id: RowId, row: &Row, part: &Partition) {
+        for (b, data) in self.entries.drain(..) {
             view.publish(row_id, row, b, data);
         }
+        part.scratch.lock().push(self.entries);
     }
 }
 
@@ -182,14 +189,14 @@ pub fn exec_linear_partition(view: ExecView<'_>, pid: PartId, ranks: std::ops::R
         unreachable!("linear execution on non-linear row");
     };
     let pattern = op.pattern(view.n_qubits);
-    let mut blocks = BlockSet::new();
+    let mut blocks = BlockSet::from_pool(part);
     // Run decomposition only pays when runs are real (length > 1).
     if view.kernels == KernelPolicy::Batched && pattern.run_len_log2() > 0 {
         linear_batched(&view, row_id, row, &op, &pattern, &mut blocks, ranks);
     } else {
         linear_scalar(&view, row_id, row, &op, &pattern, &mut blocks, ranks);
     }
-    blocks.publish(&view, row_id, row);
+    blocks.publish(&view, row_id, row, part);
 }
 
 /// The scalar item loop: one amplitude (pair) per step.

@@ -6,15 +6,22 @@
 //! * **Circuit modifiers** — [`Ckt::insert_net_after`], [`Ckt::remove_net`],
 //!   [`Ckt::insert_gate`], [`Ckt::remove_gate`] (Table II). Every modifier
 //!   incrementally restructures the internal partition graph and records
-//!   *frontier* partitions.
+//!   *frontier* partitions. [`Ckt::edit`] wraps any sequence of them into
+//!   an atomic transaction: staged against a shadow, committed only if
+//!   every op validates, so a mid-batch failure leaves no partial state.
 //! * **State update** — [`Ckt::update_state`] re-simulates exactly the
 //!   partitions reachable from the frontier, in parallel, on the
-//!   work-stealing executor. Building a circuit from scratch and calling
+//!   work-stealing executor, then publishes an immutable versioned
+//!   [`StateSnapshot`]. Building a circuit from scratch and calling
 //!   `update_state` once is the full-simulation special case.
-//! * **Query** — [`Ckt::amplitude`], [`Ckt::state`], [`Ckt::probabilities`],
-//!   [`Ckt::sample`], [`Ckt::dump_graph`]. Queries resolve the copy-on-write
-//!   block chain lazily, so a removal followed by a query needs no
-//!   simulation at all.
+//! * **Query** — [`StateSnapshot::amplitude`], [`StateSnapshot::state`],
+//!   [`StateSnapshot::probabilities`], [`StateSnapshot::sample`] on the
+//!   published snapshot (`Send + Sync`: readers on any thread keep
+//!   querying version *v* while the writer builds *v+1*), plus the same
+//!   set as live-view methods on [`Ckt`] itself ([`Ckt::amplitude`], …,
+//!   counted by [`QueryReport`]) and [`Ckt::dump_graph`]. Live queries
+//!   resolve the copy-on-write block chain lazily, so a removal followed
+//!   by a query needs no simulation at all.
 //!
 //! Internally (paper §III-C–F):
 //!
@@ -38,11 +45,15 @@ pub mod owners;
 pub mod pgraph;
 pub mod queries;
 pub mod row;
+pub mod snapshot;
 #[doc(hidden)]
 pub mod test_support;
+pub mod txn;
 
-pub use config::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig};
+pub use config::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
 pub use engine::{Ckt, UpdateReport};
 pub use owners::OwnerIndex;
 pub use queries::QueryReport;
 pub use row::{PartId, RowId};
+pub use snapshot::StateSnapshot;
+pub use txn::{EditReceipt, EditTxn};

@@ -4,9 +4,19 @@
 //! bottoming out at |0…0⟩. They reflect the state as of the latest
 //! [`crate::Ckt::update_state`] — the paper's usage model is
 //! modify → update → query.
+//!
+//! These methods are the engine's *live view* and require `&Ckt` — they
+//! cannot overlap the next edit. The preferred query surface since the
+//! MVCC redesign is [`crate::StateSnapshot`]
+//! ([`crate::Ckt::latest_snapshot`]): an immutable `Send + Sync` handle
+//! with the same query set, which any number of threads read while the
+//! owner builds the next version. The live methods stay for
+//! single-threaded convenience and as the counted-resolution oracle the
+//! `*_reported` variants instrument.
 
-use crate::cow::Resolved;
+use crate::cow::{BlockData, Resolved};
 use crate::engine::Ckt;
+use crate::owners::ResolveStats;
 use qtask_num::Complex64;
 use std::sync::atomic::Ordering;
 
@@ -41,10 +51,14 @@ pub struct MemStats {
 }
 
 impl Ckt {
-    /// Resolves block `b` of the final state: the last owner of `b` in
-    /// row order. O(log owners) with the owner index (a reader "after
-    /// every row"), O(rows) under [`crate::ResolvePolicy::ChainWalk`].
-    fn resolve_final(&self, b: usize) -> Resolved {
+    /// Resolves block `b` of the final state against `stats` counters:
+    /// the last owner of `b` in row order, or `None` for the implicit
+    /// initial state. O(log owners) with the owner index (a reader
+    /// "after every row"), O(rows) under
+    /// [`crate::ResolvePolicy::ChainWalk`]. Shared by the live queries
+    /// (which count into the engine's stats) and snapshot capture (which
+    /// counts into its own).
+    pub(crate) fn resolve_final_data(&self, b: usize, stats: &ResolveStats) -> Option<BlockData> {
         match self.config.resolve {
             crate::config::ResolvePolicy::OwnerIndex => {
                 let label_of = |r: crate::row::RowId| {
@@ -52,33 +66,34 @@ impl Ckt {
                         .order_label(r.key())
                         .expect("owner index holds only live rows")
                 };
-                self.owners
-                    .resolve_before(
-                        b,
-                        u64::MAX,
-                        label_of,
-                        |r| self.rows[r.key()].vector.owned(b),
-                        &self.resolve_stats,
-                    )
-                    .map_or(Resolved::Initial, Resolved::Data)
+                self.owners.resolve_before(
+                    b,
+                    u64::MAX,
+                    label_of,
+                    |r| self.rows[r.key()].vector.owned(b),
+                    stats,
+                )
             }
             crate::config::ResolvePolicy::ChainWalk => {
-                self.resolve_stats
-                    .blocks_resolved
-                    .fetch_add(1, Ordering::Relaxed);
+                stats.blocks_resolved.fetch_add(1, Ordering::Relaxed);
                 let mut cur = self.rows.tail();
                 while let Some(k) = cur {
-                    self.resolve_stats
-                        .owner_probes
-                        .fetch_add(1, Ordering::Relaxed);
+                    stats.owner_probes.fetch_add(1, Ordering::Relaxed);
                     if let Some(data) = self.rows[k].vector.owned(b) {
-                        return Resolved::Data(data);
+                        return Some(data);
                     }
                     cur = self.rows.prev(k);
                 }
-                Resolved::Initial
+                None
             }
         }
+    }
+
+    /// [`Ckt::resolve_final_data`] against the engine's own counters,
+    /// as a [`Resolved`].
+    fn resolve_final(&self, b: usize) -> Resolved {
+        self.resolve_final_data(b, &self.resolve_stats)
+            .map_or(Resolved::Initial, Resolved::Data)
     }
 
     /// Runs `f` and reports the resolution work it performed. Queries and
@@ -117,6 +132,13 @@ impl Ckt {
         self.amplitude(idx).norm_sqr()
     }
 
+    /// [`Ckt::probability`] plus the resolution work the lookup performed
+    /// — the same counted path as [`Ckt::amplitude_reported`], so
+    /// [`QueryReport`] is trustworthy for every query kind.
+    pub fn probability_reported(&self, idx: usize) -> (f64, QueryReport) {
+        self.with_query_report(|ckt| ckt.probability(idx))
+    }
+
     /// The full state vector (materializes `2^n` amplitudes).
     pub fn state(&self) -> Vec<Complex64> {
         let bs = self.geom.block_size();
@@ -147,6 +169,12 @@ impl Ckt {
         self.state().iter().map(|z| z.norm_sqr()).collect()
     }
 
+    /// [`Ckt::probabilities`] plus the resolution work it performed (one
+    /// block resolution per block, like [`Ckt::state_reported`]).
+    pub fn probabilities_reported(&self) -> (Vec<f64>, QueryReport) {
+        self.with_query_report(|ckt| ckt.probabilities())
+    }
+
     /// Sum of squared amplitudes (≈ 1 for a consistent state).
     pub fn norm_sqr(&self) -> f64 {
         (0..self.geom.num_blocks())
@@ -161,6 +189,11 @@ impl Ckt {
                 }
             })
             .sum()
+    }
+
+    /// [`Ckt::norm_sqr`] plus the resolution work it performed.
+    pub fn norm_sqr_reported(&self) -> (f64, QueryReport) {
+        self.with_query_report(|ckt| ckt.norm_sqr())
     }
 
     /// Draws one computational-basis measurement outcome.
@@ -178,6 +211,12 @@ impl Ckt {
             }
         }
         self.geom.state_len() - 1 // numeric slack: return the last state
+    }
+
+    /// [`Ckt::sample`] plus the resolution work the draw performed (one
+    /// block resolution per block).
+    pub fn sample_reported<R: rand::Rng>(&self, rng: &mut R) -> (usize, QueryReport) {
+        self.with_query_report(|ckt| ckt.sample(rng))
     }
 
     /// Debug introspection: every partition as

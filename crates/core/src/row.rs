@@ -1,6 +1,7 @@
 //! Rows and partitions: the simulator's internal graph node types.
 
-use crate::cow::RowVector;
+use crate::cow::{BlockData, RowVector};
+use parking_lot::Mutex;
 use qtask_circuit::{GateId, NetId};
 use qtask_num::Mat2;
 use qtask_partition::{LinearOp, PartitionSpec};
@@ -78,6 +79,15 @@ pub struct Partition {
     pub preds: Vec<PartId>,
     /// Partitions whose coverage includes this one, looking forward.
     pub succs: Vec<PartId>,
+    /// Pool of working-set entry vectors for this partition's linear
+    /// tasks ([`crate::exec`]'s `BlockSet`). A task pops a vector on
+    /// entry and pushes it back (drained, capacity intact) after
+    /// publishing, so warm re-executions of linear rows allocate nothing
+    /// — the linear-row counterpart of the MxV path's
+    /// [`crate::cow::RowVector::take_reusable_arc`] reuse. Concurrent
+    /// tasks of one partition each pop their own vector; the pool grows
+    /// to the high-water concurrency and stays there.
+    pub scratch: Mutex<Vec<Vec<(usize, BlockData)>>>,
 }
 
 impl Partition {
@@ -88,6 +98,7 @@ impl Partition {
             spec,
             preds: Vec::new(),
             succs: Vec::new(),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 }

@@ -14,17 +14,24 @@ use crate::row::{PartId, RowKind};
 
 /// All partitions of MxV rows, in row order.
 pub fn mxv_partitions(ckt: &Ckt) -> Vec<PartId> {
+    partitions_of_kind(ckt, |kind| matches!(kind, RowKind::MxV))
+}
+
+/// All partitions of linear rows, in row order.
+pub fn linear_partitions(ckt: &Ckt) -> Vec<PartId> {
+    partitions_of_kind(ckt, |kind| matches!(kind, RowKind::Linear(_)))
+}
+
+fn partitions_of_kind(ckt: &Ckt, want: impl Fn(&RowKind) -> bool) -> Vec<PartId> {
     ckt.rows
         .keys()
-        .filter(|k| matches!(ckt.rows[*k].kind, RowKind::MxV))
+        .filter(|k| want(&ckt.rows[*k].kind))
         .flat_map(|k| ckt.rows[k].parts.clone())
         .collect()
 }
 
-/// Re-executes the given MxV partitions once, serially, on the calling
-/// thread — the body an incremental update would run for them.
-pub fn reexec_mxv_partitions(ckt: &Ckt, pids: &[PartId]) {
-    let view = ExecView {
+fn exec_view(ckt: &Ckt) -> ExecView<'_> {
+    ExecView {
         rows: &ckt.rows,
         parts: &ckt.parts,
         owners: &ckt.owners,
@@ -33,8 +40,30 @@ pub fn reexec_mxv_partitions(ckt: &Ckt, pids: &[PartId]) {
         n_qubits: ckt.num_qubits(),
         resolve: ckt.config.resolve,
         kernels: ckt.config.kernels,
-    };
+    }
+}
+
+/// Re-executes the given MxV partitions once, serially, on the calling
+/// thread — the body an incremental update would run for them.
+pub fn reexec_mxv_partitions(ckt: &Ckt, pids: &[PartId]) {
+    let view = exec_view(ckt);
     for &pid in pids {
         exec::exec_mxv_partition(view, pid);
+    }
+}
+
+/// Re-executes the given linear partitions once, serially, on the
+/// calling thread, each as a single whole-range task (the `n_tasks <= 1`
+/// shape of `update_state`). Idempotent: tasks re-materialize their
+/// blocks from the *previous* row's resolved content before applying the
+/// gate.
+pub fn reexec_linear_partitions(ckt: &Ckt, pids: &[PartId]) {
+    let view = exec_view(ckt);
+    for &pid in pids {
+        let ranks = {
+            let spec = &ckt.parts[pid.key()].spec;
+            spec.item_start..spec.item_end
+        };
+        exec::exec_linear_partition(view, pid, ranks);
     }
 }

@@ -1,0 +1,322 @@
+//! Transactional circuit edits: the writer half of the engine's
+//! MVCC-style reader/writer split.
+//!
+//! [`Ckt::edit`] runs a closure against an [`EditTxn`] that *stages*
+//! modifiers on a shadow clone of the circuit
+//! ([`qtask_circuit::StagedBatch`]) instead of mutating the engine. Only
+//! when the whole closure succeeds are the validated ops replayed through
+//! the engine's real modifiers — so a mid-sequence failure (a
+//! [`CircuitError::NetConflict`] three gates into a batch, say) leaves
+//! the circuit, the partition graph, the frontier, and the owner index
+//! exactly as they were, instead of the half-mutated state direct
+//! modifier calls produce.
+//!
+//! Ids handed out during staging are the real ids of the committed
+//! edit (see `qtask_circuit::txn` for why id prediction is exact), so
+//! closures capture them directly:
+//!
+//! ```
+//! use qtask_core::Ckt;
+//! use qtask_gates::GateKind;
+//!
+//! let mut ckt = Ckt::new(3);
+//! let (gid, receipt) = ckt
+//!     .edit(|tx| {
+//!         let net = tx.push_net();
+//!         tx.insert_gate(GateKind::H, net, &[0])
+//!     })
+//!     .expect("no conflicts");
+//! assert_eq!(receipt.gates_inserted, 1);
+//! ckt.update_state();
+//! ckt.remove_gate(gid).expect("the staged id is live after commit");
+//! ```
+
+use crate::engine::Ckt;
+use qtask_circuit::{Circuit, CircuitError, EditOp, GateId, NetId, StagedBatch};
+use qtask_gates::GateKind;
+
+/// What a committed [`Ckt::edit`] transaction did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EditReceipt {
+    /// Modifier ops applied, in staging order.
+    pub ops_applied: usize,
+    /// Gates inserted by the transaction.
+    pub gates_inserted: usize,
+    /// Gates removed (directly or via net removal).
+    pub gates_removed: usize,
+    /// Nets inserted.
+    pub nets_inserted: usize,
+    /// Nets removed.
+    pub nets_removed: usize,
+    /// Frontier size after commit — the partitions the next
+    /// [`Ckt::update_state`] will start from.
+    pub frontier_len: usize,
+}
+
+/// A transaction over a [`Ckt`]'s circuit: stages modifiers, commits
+/// atomically. Obtained through [`Ckt::edit`].
+///
+/// Every staged modifier validates eagerly against the shadow circuit
+/// (which reflects all earlier staged ops), returning the same
+/// [`CircuitError`]s the direct modifiers raise. Returning an `Err` from
+/// the `edit` closure — or propagating one of these with `?` — aborts
+/// the whole transaction.
+pub struct EditTxn {
+    batch: StagedBatch,
+    gates_removed: usize,
+}
+
+impl EditTxn {
+    /// Number of qubits of the circuit under edit.
+    pub fn num_qubits(&self) -> u8 {
+        self.batch.shadow().num_qubits()
+    }
+
+    /// Read-only view of the circuit *as it will be after commit* (the
+    /// original plus every staged op so far).
+    pub fn circuit(&self) -> &Circuit {
+        self.batch.shadow()
+    }
+
+    /// Number of ops staged so far.
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True if nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Stages an empty net at the front.
+    pub fn insert_net_front(&mut self) -> NetId {
+        self.batch.insert_net_front()
+    }
+
+    /// Stages an empty net at the back.
+    pub fn push_net(&mut self) -> NetId {
+        self.batch.push_net()
+    }
+
+    /// Stages an empty net right after `after`.
+    pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
+        self.batch.insert_net_after(after)
+    }
+
+    /// Stages an empty net right before `before`.
+    pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
+        self.batch.insert_net_before(before)
+    }
+
+    /// Stages the removal of a net and all its gates.
+    pub fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
+        self.gates_removed += self
+            .batch
+            .shadow()
+            .net(net)
+            .map(|n| n.len())
+            .unwrap_or_default();
+        self.batch.remove_net(net)
+    }
+
+    /// Stages a gate insertion (validated against the shadow: qubit
+    /// range and the intra-net structural-parallelism rule).
+    pub fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError> {
+        self.batch.insert_gate(kind, net, qubits)
+    }
+
+    /// Stages a gate removal.
+    pub fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
+        self.batch.remove_gate(gate)?;
+        self.gates_removed += 1;
+        Ok(())
+    }
+}
+
+impl Ckt {
+    /// Runs `f` as an atomic edit transaction.
+    ///
+    /// All modifiers issued through the [`EditTxn`] are staged and
+    /// validated first; the engine (circuit, rows, partitions, frontier,
+    /// owner index) is mutated only if `f` returns `Ok`. On `Err` the
+    /// engine is untouched — `debug_partitions`, `validate_owner_index`,
+    /// and every query answer exactly as before the call.
+    ///
+    /// Returns the closure's value alongside an [`EditReceipt`]. As with
+    /// the direct modifiers, call [`Ckt::update_state`] after committing
+    /// to re-simulate (and publish a fresh [`crate::StateSnapshot`]).
+    pub fn edit<T>(
+        &mut self,
+        f: impl FnOnce(&mut EditTxn) -> Result<T, CircuitError>,
+    ) -> Result<(T, EditReceipt), CircuitError> {
+        let mut txn = EditTxn {
+            batch: StagedBatch::new(self.circuit()),
+            gates_removed: 0,
+        };
+        let value = f(&mut txn)?;
+        let gates_removed = txn.gates_removed;
+        let ops = txn.batch.into_ops();
+        let mut receipt = EditReceipt {
+            ops_applied: ops.len(),
+            gates_removed,
+            ..EditReceipt::default()
+        };
+        // Every op was validated on the shadow, and the engine modifiers
+        // are deterministic replays of the same circuit mutations, so a
+        // failure here is an engine bug, not a user error.
+        const COMMIT: &str = "op validated on the shadow circuit must commit";
+        for op in ops {
+            match op {
+                EditOp::InsertNetFront => {
+                    self.insert_net_front();
+                    receipt.nets_inserted += 1;
+                }
+                EditOp::PushNet => {
+                    self.push_net();
+                    receipt.nets_inserted += 1;
+                }
+                EditOp::InsertNetAfter(after) => {
+                    self.insert_net_after(after).expect(COMMIT);
+                    receipt.nets_inserted += 1;
+                }
+                EditOp::InsertNetBefore(before) => {
+                    self.insert_net_before(before).expect(COMMIT);
+                    receipt.nets_inserted += 1;
+                }
+                EditOp::RemoveNet(net) => {
+                    self.remove_net(net).expect(COMMIT);
+                    receipt.nets_removed += 1;
+                }
+                EditOp::InsertGate { net, gate } => {
+                    self.insert_gate(gate.kind(), net, gate.qubits())
+                        .expect(COMMIT);
+                    receipt.gates_inserted += 1;
+                }
+                EditOp::RemoveGate(gate) => {
+                    self.remove_gate(gate).expect(COMMIT);
+                }
+            }
+        }
+        receipt.frontier_len = self.frontier_len();
+        Ok((value, receipt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn two_net_ckt() -> (Ckt, NetId, NetId) {
+        let mut cfg = SimConfig::with_block_size(4);
+        cfg.num_threads = 1;
+        let mut ckt = Ckt::with_config(4, cfg);
+        let n1 = ckt.push_net();
+        let n2 = ckt.push_net();
+        (ckt, n1, n2)
+    }
+
+    #[test]
+    fn commit_applies_all_ops_and_ids_are_live() {
+        let (mut ckt, n1, _) = two_net_ckt();
+        let ((h, cx), receipt) = ckt
+            .edit(|tx| {
+                let h = tx.insert_gate(GateKind::H, n1, &[0])?;
+                let mid = tx.insert_net_after(n1)?;
+                let cx = tx.insert_gate(GateKind::Cx, mid, &[0, 1])?;
+                Ok((h, cx))
+            })
+            .unwrap();
+        assert_eq!(receipt.ops_applied, 3);
+        assert_eq!(receipt.gates_inserted, 2);
+        assert_eq!(receipt.nets_inserted, 1);
+        assert!(receipt.frontier_len > 0);
+        assert_eq!(ckt.circuit().num_gates(), 2);
+        assert!(ckt.circuit().gate(h).is_some());
+        assert!(ckt.circuit().gate(cx).is_some());
+        ckt.update_state();
+        // The staged ids drive later direct modifiers.
+        ckt.remove_gate(cx).unwrap();
+        ckt.remove_gate(h).unwrap();
+        ckt.update_state();
+        assert!(ckt.amplitude(0).is_one(1e-12));
+    }
+
+    #[test]
+    fn failed_transaction_rolls_everything_back() {
+        let (mut ckt, n1, n2) = two_net_ckt();
+        ckt.insert_gate(GateKind::H, n1, &[0]).unwrap();
+        ckt.insert_gate(GateKind::Cx, n2, &[0, 1]).unwrap();
+        ckt.update_state();
+        let parts_before = ckt.debug_partitions();
+        let rows_before = ckt.debug_rows();
+        let state_before = ckt.state();
+
+        let err = ckt
+            .edit(|tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::X, net, &[2])?;
+                tx.insert_gate(GateKind::X, net, &[3])?;
+                // Conflicts with the staged X on qubit 2: aborts the lot.
+                tx.insert_gate(GateKind::Cz, net, &[2, 3])?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err, CircuitError::NetConflict { qubit: 2 });
+        assert_eq!(ckt.circuit().num_gates(), 2);
+        assert_eq!(ckt.circuit().num_nets(), 2);
+        assert_eq!(ckt.debug_partitions(), parts_before);
+        assert_eq!(ckt.debug_rows(), rows_before);
+        assert_eq!(ckt.frontier_len(), 0);
+        ckt.validate_owner_index().unwrap();
+        ckt.validate_graph().unwrap();
+        assert_eq!(ckt.state(), state_before);
+    }
+
+    #[test]
+    fn closure_error_aborts_even_after_valid_stages() {
+        let (mut ckt, n1, _) = two_net_ckt();
+        let err = ckt
+            .edit(|tx| {
+                tx.insert_gate(GateKind::H, n1, &[0])?;
+                Err::<(), _>(CircuitError::StaleGate)
+            })
+            .unwrap_err();
+        assert_eq!(err, CircuitError::StaleGate);
+        assert_eq!(ckt.circuit().num_gates(), 0);
+        assert_eq!(ckt.num_rows(), 0);
+    }
+
+    #[test]
+    fn remove_net_receipt_counts_its_gates() {
+        let (mut ckt, n1, _) = two_net_ckt();
+        ckt.insert_gate(GateKind::H, n1, &[0]).unwrap();
+        ckt.insert_gate(GateKind::X, n1, &[1]).unwrap();
+        let (_, receipt) = ckt.edit(|tx| tx.remove_net(n1)).unwrap();
+        assert_eq!(receipt.nets_removed, 1);
+        assert_eq!(receipt.gates_removed, 2);
+        assert_eq!(ckt.circuit().num_nets(), 1);
+        assert_eq!(ckt.num_rows(), 0);
+    }
+
+    #[test]
+    fn txn_shadow_view_reflects_staged_ops() {
+        let (mut ckt, n1, _) = two_net_ckt();
+        ckt.edit(|tx| {
+            assert!(tx.is_empty());
+            let g = tx.insert_gate(GateKind::H, n1, &[0])?;
+            assert_eq!(tx.len(), 1);
+            assert_eq!(tx.num_qubits(), 4);
+            assert!(tx.circuit().gate(g).is_some());
+            // The real circuit is untouched mid-transaction.
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ckt.circuit().num_gates(), 1);
+    }
+}

@@ -13,7 +13,7 @@
 //!   iteration uses the ascending-submask trick, O(1) per item.
 //! * [`ops`] — lowering of a concrete gate (class + control/target bits)
 //!   to a [`ops::LinearOp`] or a dense fallback.
-//! * [`derive`] — tasks are chunks of `B` consecutive items; consecutive
+//! * [`mod@derive`] — tasks are chunks of `B` consecutive items; consecutive
 //!   tasks whose memory regions overlap in block space merge into a
 //!   [`derive::PartitionSpec`]. This reproduces the paper's Figures 4–5
 //!   exactly (see the tests).

@@ -1,6 +1,6 @@
 //! A work-stealing task-graph executor with static tasks and dynamic
 //! subflows — the from-scratch substitute for the Taskflow C++ library the
-//! paper builds on (reference [31]).
+//! paper builds on (the paper's reference 31).
 //!
 //! qTask uses exactly two Taskflow features (paper §III-F):
 //!
@@ -13,7 +13,7 @@
 //!
 //! Both are provided here, executed by a persistent pool of workers with
 //! crossbeam-deque work stealing and condition-variable parking — the
-//! "work-stealing runtime" of the paper's reference [47].
+//! "work-stealing runtime" of the paper's reference 47.
 //!
 //! # Example
 //! ```

@@ -14,10 +14,13 @@
 use qtask::circuit::Gate;
 use qtask::prelude::*;
 
-/// Appends `gate` to a fresh net at the end of `ckt`.
+/// Appends `gate` to a fresh net at the end of `ckt`, atomically.
 fn append(ckt: &mut Ckt, gate: &Gate) {
-    let net = ckt.push_net();
-    ckt.insert_gate(gate.kind(), net, gate.qubits()).unwrap();
+    ckt.edit(|tx| {
+        let net = tx.push_net();
+        tx.insert_gate(gate.kind(), net, gate.qubits())
+    })
+    .expect("a gate on its own fresh net cannot conflict");
 }
 
 fn check_equivalence(u: &Circuit, v: &Circuit, label: &str) {
@@ -25,14 +28,18 @@ fn check_equivalence(u: &Circuit, v: &Circuit, label: &str) {
     let mut ckt = Ckt::from_circuit(u, SimConfig::with_block_size(64));
     ckt.update_state();
     // Append V's gates adjointed, in reverse order, updating as we go —
-    // each step is one modifier + one incremental update.
+    // each step is one transaction + one incremental update.
     let v_gates: Vec<Gate> = v.ordered_gates().map(|(_, g)| *g).collect();
     let mut partitions = 0usize;
     for gate in v_gates.iter().rev() {
         append(&mut ckt, &gate.adjoint());
         partitions += ckt.update_state().partitions_executed;
     }
-    let p0 = ckt.probability(0);
+    // The verdict reads from the published snapshot; a checker service
+    // could hand this handle to another thread while it starts mutating
+    // toward the next candidate pair.
+    let snap = ckt.latest_snapshot().expect("update publishes");
+    let p0 = snap.probability(0);
     let verdict = if p0 > 1.0 - 1e-9 {
         "EQUIVALENT (on |0…0>)"
     } else {

@@ -52,11 +52,14 @@ fn main() {
     }
     baseline.update_state();
     println!("qulacs-like: {:?}", t0.elapsed());
-    let diff = qtask::num::vecops::max_abs_diff(&ckt.state(), &baseline.state_vec());
+    // Query through the published snapshot (the concurrent-read surface;
+    // `ckt` itself could already be mutating toward the next circuit).
+    let snap = ckt.latest_snapshot().expect("update publishes");
+    let diff = qtask::num::vecops::max_abs_diff(&snap.state(), &baseline.state_vec());
     println!("max amplitude difference: {diff:.2e}");
 
     println!("top outcomes:");
-    let state = ckt.state();
+    let state = snap.state();
     for (idx, p) in qtask::num::vecops::top_k(&state, 8) {
         if p < 1e-9 {
             break;

@@ -15,50 +15,72 @@ fn main() {
     let mut ckt = Ckt::with_config(5, SimConfig::with_block_size(4));
     let (q4, q3, q2, q1, q0) = (4u8, 3, 2, 1, 0);
 
-    // Create five nets and nine gates (Listing 1).
-    let net1 = ckt.insert_net_front();
-    let net2 = ckt.insert_net_after(net1).unwrap();
-    let net3 = ckt.insert_net_after(net2).unwrap();
-    let net4 = ckt.insert_net_after(net3).unwrap();
-    let net5 = ckt.insert_net_after(net4).unwrap();
-    for q in [q4, q3, q2, q1, q0] {
-        ckt.insert_gate(GateKind::H, net1, &[q]).unwrap();
-    }
-    let _g6 = ckt.insert_gate(GateKind::Cx, net2, &[q4, q3]).unwrap();
-    let _g7 = ckt.insert_gate(GateKind::Cx, net3, &[q4, q1]).unwrap();
-    let g8 = ckt.insert_gate(GateKind::Cx, net4, &[q3, q2]).unwrap();
-    let _g9 = ckt.insert_gate(GateKind::Cx, net5, &[q2, q0]).unwrap();
+    // Create five nets and nine gates (Listing 1) — one atomic edit.
+    let (g8, _) = ckt
+        .edit(|tx| {
+            let net1 = tx.insert_net_front();
+            let net2 = tx.insert_net_after(net1)?;
+            let net3 = tx.insert_net_after(net2)?;
+            let net4 = tx.insert_net_after(net3)?;
+            let net5 = tx.insert_net_after(net4)?;
+            for q in [q4, q3, q2, q1, q0] {
+                tx.insert_gate(GateKind::H, net1, &[q])?;
+            }
+            tx.insert_gate(GateKind::Cx, net2, &[q4, q3])?; // G6
+            tx.insert_gate(GateKind::Cx, net3, &[q4, q1])?; // G7
+            let g8 = tx.insert_gate(GateKind::Cx, net4, &[q3, q2])?;
+            tx.insert_gate(GateKind::Cx, net5, &[q2, q0])?; // G9
+            Ok(g8)
+        })
+        .expect("Listing 1 has no conflicts");
 
     // ckt.dump_graph(std::cout); — the Figure 4 partition diagram in DOT.
     println!("=== partition task graph (DOT) ===");
     println!("{}", ckt.dump_graph_string());
 
-    // ckt.update_state(); — full simulation.
+    // ckt.update_state(); — full simulation, publishing snapshot v1.
     let report = ckt.update_state();
     println!(
         "full update: {} partitions, {} tasks, {:?}",
         report.partitions_executed, report.tasks_executed, report.elapsed
     );
-    println!("P(|00000>) = {:.6}", ckt.probability(0));
+    let v1 = ckt.latest_snapshot().expect("update publishes");
+    println!("P(|00000>) = {:.6}", v1.probability(0));
 
-    // Modify the circuit: remove G8, insert G10 (Figures 7 and 8).
-    ckt.remove_gate(g8).unwrap();
-    let _g10 = ckt.insert_gate(GateKind::Cx, net4, &[q2, q1]).unwrap();
+    // Modify the circuit: remove G8, insert G10 (Figures 7 and 8) — one
+    // transaction, so no observer ever sees the G8-less intermediate.
+    let net4 = ckt.circuit().gate_net(g8).expect("G8 is live");
+    ckt.edit(|tx| {
+        tx.remove_gate(g8)?;
+        tx.insert_gate(GateKind::Cx, net4, &[q2, q1]) // G10
+    })
+    .expect("the swap cannot conflict");
 
-    // ckt.update_state(); — incremental update.
+    // ckt.update_state(); — incremental update, publishing snapshot v2.
     let report = ckt.update_state();
     println!(
-        "incremental update: {} partitions, {} tasks, {:?}",
-        report.partitions_executed, report.tasks_executed, report.elapsed
+        "incremental update: {} partitions, {} tasks, {:?} \
+         ({} snapshot blocks re-resolved)",
+        report.partitions_executed,
+        report.tasks_executed,
+        report.elapsed,
+        report.snapshot_blocks_resolved
     );
 
-    // Show the top measurement outcomes.
-    let state = ckt.state();
-    println!("=== top outcomes ===");
+    // Show the top measurement outcomes from the new version; v1 still
+    // answers from before the edit.
+    let v2 = ckt.latest_snapshot().expect("update publishes");
+    let state = v2.state();
+    println!("=== top outcomes (snapshot v{}) ===", v2.version());
     for (idx, p) in qtask::num::vecops::top_k(&state, 4) {
         println!("|{idx:05b}>  p = {p:.6}");
     }
-    println!("norm = {:.9}", ckt.norm_sqr());
+    println!("norm = {:.9}", v2.norm_sqr());
+    println!(
+        "pre-edit snapshot v{} still live: P(|00000>) = {:.6}",
+        v1.version(),
+        v1.probability(0)
+    );
     let mem = ckt.memory_stats();
     println!(
         "memory: {} rows, {} partitions, {} owned blocks ({} bytes)",

@@ -1,11 +1,18 @@
 //! Simulation-driven circuit synthesis — the paper's motivating
-//! application (Figure 1, §II-C).
+//! application (Figure 1, §II-C) — written in the transactional
+//! edit/snapshot idiom.
 //!
 //! A hill-climbing synthesizer tunes the rotation angles of an ansatz to
 //! maximize the probability of a target basis state. Every candidate move
-//! swaps one rotation gate for a re-tuned copy and re-simulates
-//! *incrementally* — thousands of simulation calls, each touching only
-//! the partitions downstream of the modified gate.
+//! swaps one rotation gate for a re-tuned copy inside a single
+//! [`Ckt::edit`] transaction (the remove+insert pair commits atomically —
+//! no observable half-moved state) and re-simulates *incrementally* —
+//! thousands of simulation calls, each touching only the partitions
+//! downstream of the modified gate. Scores are read from the
+//! [`StateSnapshot`] each update publishes; the snapshot of the best
+//! circuit seen so far is kept alive across later (worse) candidates,
+//! demonstrating version pinning: the engine keeps rewriting state while
+//! `best_snap` stays bit-stable.
 //!
 //! Run with: `cargo run --release --example synthesis_loop`
 
@@ -21,44 +28,49 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let mut ckt = Ckt::with_config(QUBITS, SimConfig::with_block_size(32));
 
-    // Ansatz: RY rotations, a CNOT ladder, RY rotations.
+    // Ansatz: RY rotations, a CNOT ladder, RY rotations — built as one
+    // transaction: either the whole ansatz exists or nothing does.
     let mut angles: Vec<f64> = (0..2 * QUBITS as usize)
         .map(|_| rng.random_range(-1.0..1.0))
         .collect();
-    let net_front = ckt.insert_net_front();
-    let net_mid = ckt.insert_net_after(net_front).unwrap();
-    // CNOT ladder occupies several nets.
-    let mut ladder_nets = vec![net_mid];
-    for _ in 0..QUBITS - 1 {
-        ladder_nets.push(ckt.insert_net_after(*ladder_nets.last().unwrap()).unwrap());
-    }
-    let net_back = ckt.insert_net_after(*ladder_nets.last().unwrap()).unwrap();
-
-    let mut front_gates = Vec::new();
-    let mut back_gates = Vec::new();
-    for q in 0..QUBITS {
-        front_gates.push(
-            ckt.insert_gate(GateKind::Ry(angles[q as usize]), net_front, &[q])
-                .unwrap(),
-        );
-    }
-    for q in 0..QUBITS - 1 {
-        ckt.insert_gate(GateKind::Cx, ladder_nets[1 + q as usize], &[q, q + 1])
-            .unwrap();
-    }
-    for q in 0..QUBITS {
-        back_gates.push(
-            ckt.insert_gate(
-                GateKind::Ry(angles[QUBITS as usize + q as usize]),
-                net_back,
-                &[q],
-            )
-            .unwrap(),
-        );
-    }
+    let ((net_front, net_back, mut front_gates, mut back_gates), receipt) = ckt
+        .edit(|tx| {
+            let net_front = tx.insert_net_front();
+            let mut ladder_nets = vec![tx.insert_net_after(net_front)?];
+            for _ in 0..QUBITS - 1 {
+                ladder_nets.push(tx.insert_net_after(*ladder_nets.last().unwrap())?);
+            }
+            let net_back = tx.insert_net_after(*ladder_nets.last().unwrap())?;
+            let mut front_gates = Vec::new();
+            let mut back_gates = Vec::new();
+            for q in 0..QUBITS {
+                front_gates.push(tx.insert_gate(
+                    GateKind::Ry(angles[q as usize]),
+                    net_front,
+                    &[q],
+                )?);
+            }
+            for q in 0..QUBITS - 1 {
+                tx.insert_gate(GateKind::Cx, ladder_nets[1 + q as usize], &[q, q + 1])?;
+            }
+            for q in 0..QUBITS {
+                back_gates.push(tx.insert_gate(
+                    GateKind::Ry(angles[QUBITS as usize + q as usize]),
+                    net_back,
+                    &[q],
+                )?);
+            }
+            Ok((net_front, net_back, front_gates, back_gates))
+        })
+        .expect("fresh ansatz has no conflicts");
+    println!(
+        "ansatz committed: {} ops in one transaction ({} gates, {} nets)",
+        receipt.ops_applied, receipt.gates_inserted, receipt.nets_inserted
+    );
 
     ckt.update_state();
-    let mut best = ckt.probability(TARGET);
+    let mut best_snap = ckt.latest_snapshot().expect("update publishes");
+    let mut best = best_snap.probability(TARGET);
     println!("initial P(target) = {best:.6}");
 
     let t0 = Instant::now();
@@ -75,23 +87,34 @@ fn main() {
             (net_back, &mut back_gates, (slot - QUBITS as usize) as u8)
         };
         let idx = q as usize;
-        // Apply the modifier pair: remove old rotation, insert new one.
-        ckt.remove_gate(gates[idx]).unwrap();
-        let new_gate = ckt.insert_gate(GateKind::Ry(new_angle), net, &[q]).unwrap();
+        // The candidate move is one atomic transaction: remove the old
+        // rotation, insert the re-tuned one.
+        let old_gate = gates[idx];
+        let (new_gate, _) = ckt
+            .edit(|tx| {
+                tx.remove_gate(old_gate)?;
+                tx.insert_gate(GateKind::Ry(new_angle), net, &[q])
+            })
+            .expect("swapping a gate on its own qubit cannot conflict");
         let report = ckt.update_state(); // incremental!
         partitions_total += report.partitions_executed;
-        let p = ckt.probability(TARGET);
+        let snap = ckt.latest_snapshot().expect("update publishes");
+        let p = snap.probability(TARGET);
         if p > best {
             best = p;
+            best_snap = snap; // pin this version; the engine moves on
             angles[slot] = new_angle;
             gates[idx] = new_gate;
             accepted += 1;
         } else {
-            // Revert.
-            ckt.remove_gate(new_gate).unwrap();
-            gates[idx] = ckt
-                .insert_gate(GateKind::Ry(angles[slot]), net, &[q])
-                .unwrap();
+            // Revert — atomically, same as the proposal.
+            let (back, _) = ckt
+                .edit(|tx| {
+                    tx.remove_gate(new_gate)?;
+                    tx.insert_gate(GateKind::Ry(angles[slot]), net, &[q])
+                })
+                .expect("revert mirrors the proposal");
+            gates[idx] = back;
             ckt.update_state();
         }
         if (iter + 1) % 100 == 0 {
@@ -109,4 +132,10 @@ fn main() {
         partitions_total as f64 / ITERATIONS as f64,
     );
     println!("final P(|{TARGET:08b}>) = {best:.6}");
+    println!(
+        "best snapshot: version {} (latest is {}), P(target) = {:.6}",
+        best_snap.version(),
+        ckt.latest_snapshot().map(|s| s.version()).unwrap_or(0),
+        best_snap.probability(TARGET),
+    );
 }

@@ -7,25 +7,58 @@
 //!
 //! ## Quick start
 //!
+//! The API is an MVCC-style reader/writer split. **Edits** go through
+//! [`core::Ckt::edit`]: every modifier in the closure is staged and
+//! validated first, then committed atomically — a mid-batch failure
+//! (e.g. two gates claiming one qubit in a net) rolls the whole
+//! transaction back. **Queries** go through the immutable
+//! [`core::StateSnapshot`] each [`core::Ckt::update_state`] publishes:
+//! snapshots are `Send + Sync` and versioned, so any number of threads
+//! keep reading version *v* while the writer builds *v+1*.
+//!
 //! ```
 //! use qtask::prelude::*;
 //!
 //! // Listing 1's circuit: five qubits, a net of Hadamards, four CNOTs.
 //! let mut ckt = Ckt::new(5);
-//! let net1 = ckt.insert_net_front();
-//! let net2 = ckt.insert_net_after(net1).unwrap();
 //! let (q4, q3) = (4, 3);
-//! for q in 0..5 {
-//!     ckt.insert_gate(GateKind::H, net1, &[q]).unwrap();
-//! }
-//! let g6 = ckt.insert_gate(GateKind::Cx, net2, &[q4, q3]).unwrap();
-//! ckt.update_state(); // full simulation
+//! let (g6, _receipt) = ckt
+//!     .edit(|tx| {
+//!         let net1 = tx.insert_net_front();
+//!         let net2 = tx.insert_net_after(net1)?;
+//!         for q in 0..5 {
+//!             tx.insert_gate(GateKind::H, net1, &[q])?;
+//!         }
+//!         tx.insert_gate(GateKind::Cx, net2, &[q4, q3])
+//!     })
+//!     .unwrap();
+//! ckt.update_state(); // full simulation; publishes snapshot v1
 //!
-//! // Modify and incrementally re-simulate.
-//! ckt.remove_gate(g6).unwrap();
-//! ckt.insert_gate(GateKind::Cx, net2, &[q3, q4]).unwrap();
+//! // Readers hold version 1 — on this thread or any other.
+//! let v1 = ckt.latest_snapshot().unwrap();
+//!
+//! // Modify and incrementally re-simulate. The failed flip of G6 onto
+//! // an occupied qubit pair aborts atomically; the second edit commits.
+//! let net2 = ckt.circuit().gate_net(g6).unwrap();
+//! assert!(ckt
+//!     .edit(|tx| {
+//!         tx.remove_gate(g6)?;
+//!         tx.insert_gate(GateKind::Cx, net2, &[q3, q4])?;
+//!         tx.insert_gate(GateKind::H, net2, &[q4]) // conflict: rolls back
+//!     })
+//!     .is_err());
+//! ckt.edit(|tx| {
+//!     tx.remove_gate(g6)?;
+//!     tx.insert_gate(GateKind::Cx, net2, &[q3, q4])
+//! })
+//! .unwrap();
 //! ckt.update_state(); // incremental: only affected partitions re-run
-//! assert!((ckt.norm_sqr() - 1.0).abs() < 1e-9);
+//!
+//! // Version 2 reflects the edit; version 1 is immutable forever.
+//! let v2 = ckt.latest_snapshot().unwrap();
+//! assert!(v2.version() > v1.version());
+//! assert!((v2.norm_sqr() - 1.0).abs() < 1e-9);
+//! assert!((v1.norm_sqr() - 1.0).abs() < 1e-9);
 //! ```
 //!
 //! ## Crate map
@@ -55,8 +88,13 @@ pub use qtask_taskflow as taskflow;
 /// The most common imports in one place.
 pub mod prelude {
     pub use qtask_baselines::{NaiveSim, QiskitLike, QulacsLike, Simulator};
-    pub use qtask_circuit::{Circuit, CircuitBuilder, CircuitStats, Gate, GateId, NetId};
-    pub use qtask_core::{Ckt, ResolvePolicy, RowOrderPolicy, SimConfig, UpdateReport};
+    pub use qtask_circuit::{
+        Circuit, CircuitBuilder, CircuitError, CircuitStats, Gate, GateId, NetId,
+    };
+    pub use qtask_core::{
+        Ckt, EditReceipt, EditTxn, KernelPolicy, QueryReport, ResolvePolicy, RowOrderPolicy,
+        SimConfig, SnapshotPolicy, StateSnapshot, UpdateReport,
+    };
     pub use qtask_gates::{GateClass, GateKind};
     pub use qtask_num::{c64, Complex64};
     pub use qtask_taskflow::{Executor, Taskflow};
