@@ -124,18 +124,18 @@ fn engine_mxv(opts: &Opts) {
         let mut ckt = Ckt::with_config(n, cfg);
         let net = ckt.push_net();
         ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // Warm the buffers and the fused cache.
         let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         ckt.remove_gate(gid).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         median_of(reps, || {
             let t0 = Instant::now();
             let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
-            ckt.update_state();
+            ckt.update_state().unwrap();
             ckt.remove_gate(gid).unwrap();
-            ckt.update_state();
+            ckt.update_state().unwrap();
             t0.elapsed().as_secs_f64() * 1e3
         })
     };
@@ -165,14 +165,14 @@ fn engine_linear(opts: &Opts) {
             let net = ckt.push_net();
             ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
             let tail = ckt.push_net();
-            ckt.update_state();
+            ckt.update_state().unwrap();
             let qubits = qubits.clone();
             median_of(reps, || {
                 let t0 = Instant::now();
                 let gid = ckt.insert_gate(kind, tail, &qubits).unwrap();
-                ckt.update_state();
+                ckt.update_state().unwrap();
                 ckt.remove_gate(gid).unwrap();
-                ckt.update_state();
+                ckt.update_state().unwrap();
                 t0.elapsed().as_secs_f64() * 1e3
             })
         };
@@ -180,6 +180,58 @@ fn engine_linear(opts: &Opts) {
         let batched = measure_policy(KernelPolicy::Batched);
         report(label, scalar, batched);
     }
+}
+
+/// Probe overhead guard: the fault-injection probes threaded through
+/// the update hot path compile to *nothing* in a default build, so two
+/// back-to-back measurements of the probe-threaded warm update must
+/// agree within measurement noise. A probe accidentally left
+/// unconditional (its registry takes a mutex per hit) blows this band
+/// up by orders of magnitude on the many-blocks path below. Record the
+/// numbers against the pre-probe baseline in EXPERIMENTS.md.
+fn probe_overhead(opts: &Opts) {
+    let n = 20u8;
+    let faults_on = cfg!(feature = "faults");
+    println!(
+        "\nProbe overhead, {n} qubits (faults feature {}):",
+        if faults_on {
+            "ON, disarmed"
+        } else {
+            "compiled out"
+        }
+    );
+    let reps = opts.reps.max(5);
+    let measure = || {
+        let cfg = SimConfig {
+            num_threads: opts.threads,
+            ..SimConfig::default()
+        };
+        let mut ckt = Ckt::with_config(n, cfg);
+        let net = ckt.push_net();
+        ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+        let tail = ckt.push_net();
+        ckt.update_state().unwrap();
+        median_of(reps, || {
+            let t0 = Instant::now();
+            let gid = ckt.insert_gate(GateKind::X, tail, &[12]).unwrap();
+            ckt.update_state().unwrap();
+            ckt.remove_gate(gid).unwrap();
+            ckt.update_state().unwrap();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+    };
+    let a = measure();
+    let b = measure();
+    let ratio = if a > b { a / b } else { b / a };
+    println!(
+        "{:<28} {a:>12.3} {b:>12.3} {ratio:>8.3}x",
+        "warm X(q12) toggle A/A"
+    );
+    assert!(
+        ratio < 1.5,
+        "probe-threaded update path is not stable across identical runs \
+         ({a:.3} ms vs {b:.3} ms): probes may no longer be compiled out"
+    );
 }
 
 fn main() {
@@ -192,4 +244,5 @@ fn main() {
     flat_kernels(&opts);
     engine_mxv(&opts);
     engine_linear(&opts);
+    probe_overhead(&opts);
 }

@@ -98,15 +98,15 @@ fn bench_incremental_update(c: &mut Criterion) {
     let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
     // A dedicated trailing net so the toggled gate never conflicts.
     let extra_net = ckt.push_net();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let mut g = c.benchmark_group("incremental");
     g.sample_size(20);
     g.bench_function("toggle_last_net_gate_qft14", |b| {
         b.iter(|| {
             let gid = ckt.insert_gate(GateKind::Z, extra_net, &[0]).unwrap();
-            ckt.update_state();
+            ckt.update_state().unwrap();
             ckt.remove_gate(gid).unwrap();
-            ckt.update_state();
+            ckt.update_state().unwrap();
         })
     });
     g.finish();
@@ -115,7 +115,7 @@ fn bench_incremental_update(c: &mut Criterion) {
 fn bench_query(c: &mut Criterion) {
     let circuit = qtask_bench_circuits::build("qft", Some(14)).unwrap();
     let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let snap = ckt.latest_snapshot().expect("update publishes");
     let mut g = c.benchmark_group("query");
     g.sample_size(20);
@@ -145,7 +145,7 @@ fn bench_snapshot_readers(c: &mut Criterion) {
     let circuit = qtask_bench_circuits::build("qft", Some(14)).unwrap();
     let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
     let extra_net = ckt.push_net();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let mut g = c.benchmark_group("snapshot_readers");
     g.sample_size(10);
     const READS: usize = 20_000;
@@ -191,9 +191,9 @@ fn bench_snapshot_readers(c: &mut Criterion) {
                     })
                     .collect();
                 let gid = ckt.insert_gate(GateKind::Z, extra_net, &[0]).unwrap();
-                ckt.update_state();
+                ckt.update_state().unwrap();
                 ckt.remove_gate(gid).unwrap();
-                ckt.update_state();
+                ckt.update_state().unwrap();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("reader"))
@@ -231,7 +231,7 @@ fn phase_chain(depth: usize, resolve: ResolvePolicy) -> Ckt {
 fn with_trailing_mxv(mut ckt: Ckt) -> (Ckt, qtask_circuit::NetId) {
     let net = ckt.push_net();
     ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     (ckt, net)
 }
 
@@ -240,9 +240,9 @@ fn with_trailing_mxv(mut ckt: Ckt) -> (Ckt, qtask_circuit::NetId) {
 /// block resolution plus a fixed executor floor.
 fn toggle_once(ckt: &mut Ckt, net: qtask_circuit::NetId) -> u64 {
     let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
-    let report = ckt.update_state();
+    let report = ckt.update_state().unwrap();
     ckt.remove_gate(gid).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     report.owner_probes
 }
 

@@ -165,19 +165,19 @@ impl Simulator for CktSim {
         net: NetId,
         qubits: &[u8],
     ) -> Result<GateId, CircuitError> {
-        self.ckt.insert_gate(kind, net, qubits)
+        self.ckt.insert_gate(kind, net, qubits).map_err(demote)
     }
 
     fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
-        self.ckt.remove_gate(gate).map(|_| ())
+        self.ckt.remove_gate(gate).map(|_| ()).map_err(demote)
     }
 
     fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
-        self.ckt.remove_net(net)
+        self.ckt.remove_net(net).map_err(demote)
     }
 
     fn update_state(&mut self) {
-        self.ckt.update_state();
+        self.ckt.update_state().unwrap();
     }
 
     // Queries go through the published snapshot when one exists — the
@@ -201,6 +201,16 @@ impl Simulator for CktSim {
 
     fn num_gates(&self) -> usize {
         self.ckt.circuit().num_gates()
+    }
+}
+
+/// Maps engine errors onto the baseline protocol's [`CircuitError`]
+/// surface. Anything beyond a circuit-validation failure (poisoning,
+/// norm drift) is an engine fault the benches must not paper over.
+fn demote(e: qtask_core::EngineError) -> CircuitError {
+    match e {
+        qtask_core::EngineError::Circuit(c) => c,
+        other => panic!("engine failed during benchmark: {other}"),
     }
 }
 

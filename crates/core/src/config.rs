@@ -56,6 +56,23 @@ pub enum SnapshotPolicy {
     Disabled,
 }
 
+/// What the engine does when the published state's norm drifts off unity
+/// (or an amplitude goes non-finite) — checked at snapshot publication,
+/// i.e. under [`SnapshotPolicy::Publish`] only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericalPolicy {
+    /// Norm drift beyond [`SimConfig::norm_tolerance`] is an error: the
+    /// update fails with [`crate::EngineError::NormDrift`] and the engine
+    /// poisons itself (the state is numerically broken; recover or
+    /// rebuild). The default.
+    Strict,
+    /// Drift is absorbed: the engine records a renormalization scale
+    /// `1/√(norm²)` applied by every query, and counts the event in
+    /// [`crate::UpdateReport::drift_events`]. Non-finite amplitudes are
+    /// still an error — NaN cannot be scaled away.
+    Renormalize,
+}
+
 /// Tunables of a [`crate::Ckt`].
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -83,6 +100,12 @@ pub struct SimConfig {
     pub kernels: KernelPolicy,
     /// Whether updates publish [`crate::StateSnapshot`]s (see `DESIGN.md`).
     pub snapshots: SnapshotPolicy,
+    /// Numerical-health policy at publish time (see `DESIGN.md`).
+    pub numerics: NumericalPolicy,
+    /// Allowed `|norm² − 1|` before [`SimConfig::numerics`] engages.
+    /// The default (1e-6) is far above honest f64 rounding across deep
+    /// circuits and far below any real corruption.
+    pub norm_tolerance: f64,
 }
 
 impl Default for SimConfig {
@@ -95,6 +118,8 @@ impl Default for SimConfig {
             resolve: ResolvePolicy::OwnerIndex,
             kernels: KernelPolicy::Batched,
             snapshots: SnapshotPolicy::Publish,
+            numerics: NumericalPolicy::Strict,
+            norm_tolerance: 1e-6,
         }
     }
 }
@@ -133,6 +158,12 @@ impl SimConfig {
         self.snapshots = snapshots;
         self
     }
+
+    /// This config with the given numerical policy.
+    pub fn with_numerics(mut self, numerics: NumericalPolicy) -> SimConfig {
+        self.numerics = numerics;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +185,9 @@ mod tests {
         assert_eq!(c.kernels, KernelPolicy::Scalar);
         let c = c.with_snapshots(SnapshotPolicy::Disabled);
         assert_eq!(c.snapshots, SnapshotPolicy::Disabled);
+        assert_eq!(c.numerics, NumericalPolicy::Strict);
+        assert!(c.norm_tolerance > 0.0);
+        let c = c.with_numerics(NumericalPolicy::Renormalize);
+        assert_eq!(c.numerics, NumericalPolicy::Renormalize);
     }
 }

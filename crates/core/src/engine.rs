@@ -1,7 +1,8 @@
 //! The [`Ckt`] engine: modifiers, frontier bookkeeping, incremental update.
 
-use crate::config::{KernelPolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
+use crate::config::{KernelPolicy, NumericalPolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
 use crate::cow::{BlockData, RowVector};
+use crate::error::{payload_text, EngineError, InvariantViolation};
 use crate::exec::{self, ExecView};
 use crate::owners::{OwnerIndex, ResolveStats};
 use crate::queries::QueryReport;
@@ -13,6 +14,7 @@ use qtask_partition::{derive_partitions, BlockGeometry, LoweredGate, PartitionSp
 use qtask_taskflow::{Executor, Taskflow};
 use qtask_util::{Arena, LinkedArena};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +82,28 @@ pub struct UpdateReport {
     /// size; its resolution work is *not* included in the two counters
     /// above.
     pub snapshot_blocks_resolved: u64,
+    /// `|norm² − 1|` measured at this update's publication (0 when
+    /// nothing was published).
+    pub norm_error: f64,
+    /// Cumulative count of publications whose norm drifted beyond
+    /// [`SimConfig::norm_tolerance`] over this engine's lifetime. Only
+    /// grows under [`NumericalPolicy::Renormalize`] — under
+    /// [`NumericalPolicy::Strict`] the first drift poisons the engine.
+    pub drift_events: u64,
+}
+
+/// What [`Ckt::recover`] did: a full rebuild of the simulation state by
+/// replaying the retained circuit and re-executing every partition.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Report of the full re-execution that materialized the state.
+    pub update: UpdateReport,
+    /// Wall-clock time of the whole rebuild (replay + execution).
+    pub elapsed: Duration,
+    /// Rows in the rebuilt engine.
+    pub rows: usize,
+    /// Partitions in the rebuilt engine.
+    pub partitions: usize,
 }
 
 /// The qTask simulator object (paper Listing 1's `qTask ckt(5)`).
@@ -117,6 +141,22 @@ pub struct Ckt {
     /// Snapshot publication counter ([`StateSnapshot::version`]).
     snapshot_seq: u64,
     gate_seq: u64,
+    /// Why the engine is poisoned, if it is. Set by panic containment and
+    /// numerical-policy violations; cleared only by [`Ckt::recover`]
+    /// (which replaces the whole engine).
+    poison: Option<String>,
+    /// Per-block squared norms of the last published state — refreshed
+    /// only for the blocks a publication re-resolves, so norm
+    /// conservation is checked incrementally.
+    block_norms: Vec<f64>,
+    /// Scale every query applies: 1.0 unless
+    /// [`NumericalPolicy::Renormalize`] absorbed drift at the last
+    /// publication. Stored, never baked into the shared COW buffers.
+    renorm_scale: f64,
+    /// Lifetime count of publications that drifted beyond tolerance.
+    drift_events: u64,
+    /// `|norm² − 1|` at the last publication.
+    last_norm_error: f64,
 }
 
 /// Allocation cache for [`Ckt::update_state`]: the dirty-set DFS scratch
@@ -150,6 +190,9 @@ impl Ckt {
     /// be reused.
     pub fn with_executor(num_qubits: u8, config: SimConfig, executor: Arc<Executor>) -> Ckt {
         let geom = BlockGeometry::new(num_qubits, config.block_size);
+        // |0…0⟩: all the norm lives in block 0.
+        let mut block_norms = vec![0.0; geom.num_blocks()];
+        block_norms[0] = 1.0;
         Ckt {
             circuit: Circuit::new(num_qubits),
             geom,
@@ -167,6 +210,11 @@ impl Ckt {
             snap_dirty: HashSet::new(),
             snapshot_seq: 0,
             gate_seq: 0,
+            poison: None,
+            block_norms,
+            renorm_scale: 1.0,
+            drift_events: 0,
+            last_norm_error: 0.0,
         }
     }
 
@@ -191,6 +239,189 @@ impl Ckt {
             }
         }
         ckt
+    }
+
+    // ---- health: poisoning, containment, recovery ------------------------
+
+    /// True when a previous mutation panicked (or violated the numerical
+    /// policy) and the simulation state may be torn. The circuit survives;
+    /// [`Ckt::recover`] rebuilds everything else from it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
+    /// Why the engine is poisoned, if it is.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poison.as_deref()
+    }
+
+    /// Errors with [`EngineError::Poisoned`] when the engine is poisoned.
+    pub(crate) fn ensure_healthy(&self) -> Result<(), EngineError> {
+        match &self.poison {
+            Some(reason) => Err(EngineError::Poisoned {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Panics with the poison reason when the engine is poisoned — the
+    /// guard of the infallible query surface, which must never serve a
+    /// torn read.
+    pub(crate) fn assert_healthy(&self) {
+        if let Some(reason) = &self.poison {
+            panic!("engine is poisoned: {reason} (call Ckt::recover, or use the try_ queries)");
+        }
+    }
+
+    /// Poisons the engine (first reason wins) and returns the matching
+    /// [`EngineError::Poisoned`].
+    fn poison_with(&mut self, reason: String) -> EngineError {
+        if self.poison.is_none() {
+            self.poison = Some(reason.clone());
+        }
+        EngineError::Poisoned { reason }
+    }
+
+    /// Poisons the engine with `err`'s rendering, then passes `err`
+    /// through — for failures whose typed identity (NormDrift, NonFinite)
+    /// matters more than the poisoned wrapper.
+    fn poison_err(&mut self, err: EngineError) -> EngineError {
+        if self.poison.is_none() {
+            self.poison = Some(err.to_string());
+        }
+        err
+    }
+
+    /// Runs a mutation with panic containment: an unwind out of `f`
+    /// poisons the engine and surfaces as [`EngineError::Poisoned`]
+    /// instead of propagating (or worse, leaving the engine torn behind a
+    /// caller's `catch_unwind`).
+    pub(crate) fn contain<T>(
+        &mut self,
+        f: impl FnOnce(&mut Ckt) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        let result = {
+            let this = &mut *self;
+            catch_unwind(AssertUnwindSafe(move || f(this)))
+        };
+        match result {
+            Ok(r) => r,
+            Err(payload) => Err(self.poison_with(payload_text(payload.as_ref()))),
+        }
+    }
+
+    /// Rebuilds the entire simulation state — rows, partitions, owner
+    /// index, snapshot — by replaying the retained [`Circuit`] and fully
+    /// re-executing it, then replaces `self` with the rebuilt engine
+    /// (clearing any poison). Snapshot versions stay monotonic: the
+    /// recovery publication's version exceeds every previously published
+    /// one.
+    ///
+    /// Works on healthy engines too (it is a plain full rebuild), which is
+    /// what the recovery-latency bench measures.
+    pub fn recover(&mut self) -> Result<RecoveryReport, EngineError> {
+        let t0 = Instant::now();
+        let seq = self.snapshot_seq;
+        let circuit = self.circuit.clone();
+        let config = self.config.clone();
+        let executor = Arc::clone(&self.executor);
+        let rebuilt = catch_unwind(AssertUnwindSafe(
+            || -> Result<(Ckt, UpdateReport), EngineError> {
+                let mut fresh = Ckt::from_circuit_with_executor(&circuit, config, executor);
+                fresh.snapshot_seq = seq;
+                let update = fresh.update_state()?;
+                Ok((fresh, update))
+            },
+        ));
+        match rebuilt {
+            Ok(Ok((fresh, update))) => {
+                let report = RecoveryReport {
+                    update,
+                    elapsed: t0.elapsed(),
+                    rows: fresh.num_rows(),
+                    partitions: fresh.num_partitions(),
+                };
+                *self = fresh;
+                Ok(report)
+            }
+            Ok(Err(e)) => Err(EngineError::RecoveryFailed {
+                reason: e.to_string(),
+            }),
+            Err(payload) => Err(EngineError::RecoveryFailed {
+                reason: payload_text(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Checks every cross-structure engine invariant and reports the
+    /// violations (empty = coherent). Read-only and panic-contained, so it
+    /// is safe to run on a poisoned engine — that is its purpose: after a
+    /// contained panic, `audit` says *what* tore.
+    ///
+    /// Checks: poisoning, owner-index ↔ row-vector agreement, partition
+    /// graph coherence, per-block resolvability, amplitude finiteness,
+    /// norm conservation (after any renormalization scale), and snapshot
+    /// version monotonicity.
+    pub fn audit(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        if let Some(reason) = &self.poison {
+            out.push(InvariantViolation::EnginePoisoned {
+                reason: reason.clone(),
+            });
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.validate_owner_index())) {
+            Ok(Ok(())) => {}
+            Ok(Err(detail)) => out.push(InvariantViolation::OwnerIndexMismatch { detail }),
+            Err(payload) => out.push(InvariantViolation::OwnerIndexMismatch {
+                detail: payload_text(payload.as_ref()),
+            }),
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.validate_graph())) {
+            Ok(Ok(())) => {}
+            Ok(Err(detail)) => out.push(InvariantViolation::GraphIncoherent { detail }),
+            Err(payload) => out.push(InvariantViolation::GraphIncoherent {
+                detail: payload_text(payload.as_ref()),
+            }),
+        }
+        let stats = ResolveStats::default();
+        let mut total = 0.0;
+        let mut norm_meaningful = true;
+        for b in 0..self.geom.num_blocks() {
+            match catch_unwind(AssertUnwindSafe(|| self.resolve_final_data(b, &stats))) {
+                Ok(slot) => {
+                    let norm = block_norm(b, &slot);
+                    if norm.is_finite() {
+                        total += norm;
+                    } else {
+                        out.push(InvariantViolation::NonFiniteAmplitude { block: b });
+                        norm_meaningful = false;
+                    }
+                }
+                Err(_) => {
+                    out.push(InvariantViolation::ResolutionFailure { block: b });
+                    norm_meaningful = false;
+                }
+            }
+        }
+        if norm_meaningful {
+            let effective = total * self.renorm_scale * self.renorm_scale;
+            if (effective - 1.0).abs() > self.config.norm_tolerance {
+                out.push(InvariantViolation::NormDrift {
+                    norm_sqr: effective,
+                    tolerance: self.config.norm_tolerance,
+                });
+            }
+        }
+        if let Some(snap) = &self.latest {
+            if snap.version() != self.snapshot_seq {
+                out.push(InvariantViolation::SnapshotVersionSkew {
+                    snapshot_version: snap.version(),
+                    engine_seq: self.snapshot_seq,
+                });
+            }
+        }
+        out
     }
 
     // ---- structure queries ----------------------------------------------
@@ -232,14 +463,17 @@ impl Ckt {
 
     // ---- circuit modifiers ----------------------------------------------
 
-    /// Inserts an empty net at the front.
+    /// Inserts an empty net at the front. Infallible: net creation
+    /// touches only the circuit (the authoritative structure recovery
+    /// replays), never the simulation state, so it cannot tear.
     pub fn insert_net_front(&mut self) -> NetId {
         let id = self.circuit.insert_net_front();
         self.net_sim.insert(id, NetSim::default());
         id
     }
 
-    /// Appends an empty net at the back.
+    /// Appends an empty net at the back (infallible; see
+    /// [`Ckt::insert_net_front`]).
     pub fn push_net(&mut self) -> NetId {
         let id = self.circuit.push_net();
         self.net_sim.insert(id, NetSim::default());
@@ -247,27 +481,34 @@ impl Ckt {
     }
 
     /// Inserts an empty net right after `after` (the paper's `insert_net`).
-    pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
+    pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, EngineError> {
+        self.ensure_healthy()?;
         let id = self.circuit.insert_net_after(after)?;
         self.net_sim.insert(id, NetSim::default());
         Ok(id)
     }
 
     /// Inserts an empty net right before `before`.
-    pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
+    pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, EngineError> {
+        self.ensure_healthy()?;
         let id = self.circuit.insert_net_before(before)?;
         self.net_sim.insert(id, NetSim::default());
         Ok(id)
     }
 
     /// Removes a net and all its gates.
-    pub fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
+    pub fn remove_net(&mut self, net: NetId) -> Result<(), EngineError> {
+        self.ensure_healthy()?;
+        self.contain(|ckt| ckt.remove_net_inner(net))
+    }
+
+    fn remove_net_inner(&mut self, net: NetId) -> Result<(), EngineError> {
         if self.circuit.net(net).is_none() {
-            return Err(CircuitError::StaleNet);
+            return Err(CircuitError::StaleNet.into());
         }
         let gate_ids: Vec<GateId> = self.circuit.net(net).unwrap().gates().to_vec();
         for gid in gate_ids {
-            self.remove_gate(gid)?;
+            self.remove_gate_inner(gid)?;
         }
         self.circuit.remove_net(net)?;
         self.net_sim.remove(&net);
@@ -276,13 +517,30 @@ impl Ckt {
 
     /// Inserts a gate into a net, restructuring the partition graph and
     /// recording its partitions as frontier (paper §III-D, Figure 8/9).
+    ///
+    /// A panic mid-restructure is contained: the engine poisons itself
+    /// (the circuit already holds the gate, the rows may not) and the
+    /// call returns [`EngineError::Poisoned`].
     pub fn insert_gate(
         &mut self,
         kind: GateKind,
         net: NetId,
         qubits: &[u8],
-    ) -> Result<GateId, CircuitError> {
+    ) -> Result<GateId, EngineError> {
+        self.ensure_healthy()?;
+        self.contain(|ckt| ckt.insert_gate_inner(kind, net, qubits))
+    }
+
+    fn insert_gate_inner(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, EngineError> {
         let gid = self.circuit.insert_gate(kind, net, qubits)?;
+        // Past this point the circuit holds the gate but the rows do not —
+        // a panic here leaves exactly the torn state poisoning guards.
+        qtask_faults::fault_point!("engine/insert_gate");
         self.gate_seq += 1;
         let seq = self.gate_seq;
         let gate = *self.circuit.gate(gid).expect("gate just inserted");
@@ -317,10 +575,17 @@ impl Ckt {
 
     /// Removes a gate, reconnecting the partition graph across the hole
     /// and recording the removed partitions' successors as frontier
-    /// (paper §III-D, Figure 7).
-    pub fn remove_gate(&mut self, gate: GateId) -> Result<Gate, CircuitError> {
+    /// (paper §III-D, Figure 7). Panics mid-restructure are contained
+    /// (see [`Ckt::insert_gate`]).
+    pub fn remove_gate(&mut self, gate: GateId) -> Result<Gate, EngineError> {
+        self.ensure_healthy()?;
+        self.contain(|ckt| ckt.remove_gate_inner(gate))
+    }
+
+    fn remove_gate_inner(&mut self, gate: GateId) -> Result<Gate, EngineError> {
         let net = self.circuit.gate_net(gate).ok_or(CircuitError::StaleGate)?;
         let removed = self.circuit.remove_gate(gate)?;
+        qtask_faults::fault_point!("engine/remove_gate");
         match self.gate_sim.remove(&gate).expect("gate had sim info") {
             GateSim::Identity => {}
             GateSim::LinearRow(row_id) => {
@@ -552,8 +817,19 @@ impl Ckt {
     /// Unless [`SnapshotPolicy::Disabled`], the update also publishes a
     /// fresh [`StateSnapshot`] ([`Ckt::latest_snapshot`]) of the resolved
     /// state, so readers on other threads keep querying the previous
-    /// version while this one replaces it.
-    pub fn update_state(&mut self) -> UpdateReport {
+    /// version while this one replaces it. Publication is where the
+    /// [`NumericalPolicy`] engages: non-finite amplitudes and
+    /// out-of-tolerance norm drift surface here.
+    ///
+    /// A panicking task (or a panic in the serial build phase) is
+    /// contained: the engine poisons itself and the call returns
+    /// [`EngineError::Poisoned`] instead of unwinding or hanging.
+    pub fn update_state(&mut self) -> Result<UpdateReport, EngineError> {
+        self.ensure_healthy()?;
+        self.contain(Ckt::update_state_inner)
+    }
+
+    fn update_state_inner(&mut self) -> Result<UpdateReport, EngineError> {
         let t0 = Instant::now();
         let publish = self.config.snapshots == SnapshotPolicy::Publish;
         if self.frontier.is_empty() {
@@ -562,11 +838,14 @@ impl Ckt {
             // snapshot if so, or publish the very first one.
             let mut report = UpdateReport::default();
             if publish && (self.latest.is_none() || !self.snap_dirty.is_empty()) {
+                qtask_faults::fault_point!("engine/update_publish");
                 let (spine, resolve_all) = self.detach_spine();
-                report.snapshot_blocks_resolved = self.publish_spine(spine, resolve_all);
+                report.snapshot_blocks_resolved = self.publish_spine(spine, resolve_all)?;
             }
+            report.norm_error = self.last_norm_error;
+            report.drift_events = self.drift_events;
             report.elapsed = t0.elapsed();
-            return report;
+            return Ok(report);
         }
         // DFS over successor edges: the dirty set is successor-closed.
         // The DFS scratch and the partition→task map are cached in
@@ -588,6 +867,7 @@ impl Ckt {
                 stack.extend(self.parts[p.key()].succs.iter().copied());
             }
         }
+        qtask_faults::fault_point!("engine/update_build");
         // Detach the previous snapshot spine *before* execution: blocks
         // this update will rewrite (spans of dirty non-sync partitions,
         // plus blocks of removed rows) are dropped from the engine's own
@@ -682,9 +962,11 @@ impl Ckt {
         }
         let build_elapsed = t0.elapsed();
         let t1 = Instant::now();
-        self.executor.run(&tf);
+        // `try_run` survives panicking tasks: the executor cancels the
+        // panicking task's dependents, drains the rest, and reports the
+        // first panic here instead of unwinding a worker (or hanging).
+        let run_result = self.executor.try_run(&tf);
         let run_elapsed = t1.elapsed();
-        self.frontier.clear();
         let partitions_executed = dirty.len();
         let (blocks_resolved, owner_probes) = self.resolve_stats.snapshot();
         self.scratch.nodes_hint = tf.len();
@@ -692,11 +974,18 @@ impl Ckt {
         self.scratch.dirty = dirty;
         self.scratch.stack = stack;
         self.scratch.task_of = task_of;
+        if let Err(task_panic) = run_result {
+            // Some partitions ran, some were cancelled: the row state is
+            // torn. Poison; `recover` rebuilds from the circuit.
+            return Err(self.poison_with(task_panic.to_string()));
+        }
+        self.frontier.clear();
+        qtask_faults::fault_point!("engine/update_publish");
         let snapshot_blocks_resolved = match spine {
-            Some((spine, resolve_all)) => self.publish_spine(spine, resolve_all),
+            Some((spine, resolve_all)) => self.publish_spine(spine, resolve_all)?,
             None => 0,
         };
-        UpdateReport {
+        Ok(UpdateReport {
             partitions_executed,
             tasks_executed,
             elapsed: t0.elapsed(),
@@ -705,7 +994,9 @@ impl Ckt {
             blocks_resolved,
             owner_probes,
             snapshot_blocks_resolved,
-        }
+            norm_error: self.last_norm_error,
+            drift_events: self.drift_events,
+        })
     }
 
     // ---- snapshot publication -------------------------------------------
@@ -728,21 +1019,35 @@ impl Ckt {
     /// Pending *insertions* that have not been simulated yet do not
     /// appear — like every query, a snapshot reflects the state as of the
     /// last [`Ckt::update_state`].
+    ///
+    /// Panics when the engine is poisoned (or publication violates the
+    /// numerical policy); [`Ckt::try_snapshot`] is the non-panicking
+    /// variant.
     pub fn snapshot(&mut self) -> StateSnapshot {
+        self.try_snapshot().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Ckt::snapshot`] returning errors instead of panicking.
+    pub fn try_snapshot(&mut self) -> Result<StateSnapshot, EngineError> {
+        self.ensure_healthy()?;
+        self.contain(Ckt::snapshot_inner)
+    }
+
+    fn snapshot_inner(&mut self) -> Result<StateSnapshot, EngineError> {
         match self.config.snapshots {
             SnapshotPolicy::Publish => {
                 if self.latest.is_none() || !self.snap_dirty.is_empty() {
                     let (spine, resolve_all) = self.detach_spine();
-                    self.publish_spine(spine, resolve_all);
+                    self.publish_spine(spine, resolve_all)?;
                 }
-                self.latest.clone().expect("snapshot just published")
+                Ok(self.latest.clone().expect("snapshot just published"))
             }
             SnapshotPolicy::Disabled => {
                 let stats = ResolveStats::default();
                 let blocks = (0..self.geom.num_blocks())
                     .map(|b| self.resolve_final_data(b, &stats))
                     .collect();
-                self.assemble_snapshot(blocks, &stats)
+                Ok(self.assemble_snapshot(blocks, &stats))
             }
         }
     }
@@ -771,24 +1076,66 @@ impl Ckt {
     }
 
     /// Re-resolves the dirty blocks of `blocks` (or all of them) against
-    /// the current rows, publishes the result as the next snapshot
-    /// version, and clears the dirty set. Returns the number of blocks
-    /// resolved.
-    fn publish_spine(&mut self, mut blocks: Vec<Option<BlockData>>, resolve_all: bool) -> u64 {
+    /// the current rows, runs the [`NumericalPolicy`] health checks,
+    /// publishes the result as the next snapshot version, and clears the
+    /// dirty set. Returns the number of blocks resolved.
+    ///
+    /// Norm conservation is checked incrementally: only the re-resolved
+    /// blocks' entries of the per-block norm cache are recomputed, so the
+    /// check costs O(write set), like the capture itself.
+    fn publish_spine(
+        &mut self,
+        mut blocks: Vec<Option<BlockData>>,
+        resolve_all: bool,
+    ) -> Result<u64, EngineError> {
         let stats = ResolveStats::default();
         if resolve_all {
             for (b, slot) in blocks.iter_mut().enumerate() {
                 *slot = self.resolve_final_data(b, &stats);
+                self.block_norms[b] = block_norm(b, slot);
             }
         } else {
-            for &b in &self.snap_dirty {
+            // Take the dirty set so its iteration doesn't hold `&self`
+            // while the norm cache is written; its capacity is restored
+            // below to keep the warm path allocation-free.
+            let snap_dirty = std::mem::take(&mut self.snap_dirty);
+            for &b in &snap_dirty {
                 blocks[b] = self.resolve_final_data(b, &stats);
+                self.block_norms[b] = block_norm(b, &blocks[b]);
             }
+            self.snap_dirty = snap_dirty;
         }
         self.snap_dirty.clear();
+        let total: f64 = self.block_norms.iter().sum();
+        if !total.is_finite() {
+            let block = self
+                .block_norms
+                .iter()
+                .position(|n| !n.is_finite())
+                .unwrap_or(0);
+            return Err(self.poison_err(EngineError::NonFinite { block }));
+        }
+        let drift = (total - 1.0).abs();
+        self.last_norm_error = drift;
+        if drift > self.config.norm_tolerance {
+            self.drift_events += 1;
+            match self.config.numerics {
+                NumericalPolicy::Strict => {
+                    return Err(self.poison_err(EngineError::NormDrift {
+                        norm_sqr: total,
+                        tolerance: self.config.norm_tolerance,
+                    }));
+                }
+                NumericalPolicy::Renormalize => {
+                    self.renorm_scale = 1.0 / total.sqrt();
+                }
+            }
+        } else {
+            self.renorm_scale = 1.0;
+        }
         let resolved = stats.snapshot().0;
         self.latest = Some(self.assemble_snapshot(blocks, &stats));
-        resolved
+        Ok(resolved)
     }
 
     /// Wraps a resolved block spine into the next snapshot version,
@@ -802,15 +1149,16 @@ impl Ckt {
         let (blocks_resolved, owner_probes) = stats.snapshot();
         self.snapshot_seq += 1;
         StateSnapshot {
-            inner: Arc::new(SnapInner {
-                version: self.snapshot_seq,
-                geom: self.geom,
+            inner: Arc::new(SnapInner::new(
+                self.snapshot_seq,
+                self.geom,
                 blocks,
-                capture_report: QueryReport {
+                QueryReport {
                     blocks_resolved,
                     owner_probes,
                 },
-            }),
+                self.renorm_scale,
+            )),
         }
     }
 
@@ -849,6 +1197,28 @@ impl Ckt {
         }
         Ok(())
     }
+
+    /// The scale the live queries currently apply (1.0 unless
+    /// [`NumericalPolicy::Renormalize`] absorbed drift at the last
+    /// publication).
+    pub fn renorm_scale(&self) -> f64 {
+        self.renorm_scale
+    }
+}
+
+/// Squared norm of one resolved block (`None` = the implicit |0…0⟩
+/// initial block).
+fn block_norm(b: usize, slot: &Option<BlockData>) -> f64 {
+    match slot {
+        Some(d) => d.iter().map(|z| z.norm_sqr()).sum(),
+        None => {
+            if b == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -864,7 +1234,7 @@ mod tests {
         let mut ckt = Ckt::with_config(4, cfg);
         let net = ckt.push_net();
         let gid = ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let GateSim::DenseInMxV(mxv, _) = ckt.gate_sim[&gid] else {
             panic!("H gate must fold into an MxV row");
         };
@@ -888,7 +1258,7 @@ mod tests {
         assert!(row.dense[0].mat.approx_eq(&u, 0.0), "newest matrix wins");
         assert!(row.fused.is_none(), "replacement invalidates the cache");
         // The simulated state reflects U3 alone, not H·U3.
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let mut want = qtask_num::vecops::ket_zero(4);
         qtask_partition::kernels::apply_dense(0, 1, &u, 4, &mut want);
         assert!(qtask_num::vecops::approx_eq(&ckt.state(), &want, 1e-12));
@@ -912,7 +1282,7 @@ mod tests {
         };
         let (m0, m1) = (*m0, *m1);
         assert_ne!(m0, m1, "cap 1 chains two pairs");
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // Re-register g0's (controls, target) — held by the *earlier*
         // pair — with a different matrix.
         let u = GateKind::U3(0.3, 0.8, 1.1).base_matrix().unwrap();
@@ -929,7 +1299,7 @@ mod tests {
         assert_eq!(ckt.rows[m0.key()].dense.len(), 1);
         assert!(ckt.rows[m0.key()].dense[0].mat.approx_eq(&u, 0.0));
         assert_eq!(ckt.rows[m1.key()].dense.len(), 1, "later pair untouched");
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let h = GateKind::H.base_matrix().unwrap();
         let mut want = qtask_num::vecops::ket_zero(4);
         qtask_partition::kernels::apply_dense(0, 1, &u, 4, &mut want);
@@ -964,7 +1334,7 @@ mod tests {
         assert_ne!(m2, m0);
         // Identity matrix check: simulate and compare against the flat
         // kernels applied gate-at-a-time.
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let h = GateKind::H.base_matrix().unwrap();
         let mut want = qtask_num::vecops::ket_zero(4);
         for t in [0u8, 2, 3] {
@@ -983,14 +1353,14 @@ mod tests {
         let net = ckt.push_net();
         let g0 = ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
         let g1 = ckt.insert_gate(GateKind::H, net, &[2]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let GateSim::DenseInMxV(mxv, _) = ckt.gate_sim[&g0] else {
             panic!("H gate must fold into an MxV row");
         };
         assert!(ckt.rows[mxv.key()].fused.is_some());
         ckt.remove_gate(g1).unwrap();
         assert!(ckt.rows[mxv.key()].fused.is_none(), "removal invalidates");
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert!(ckt.rows[mxv.key()].fused.is_some(), "update rebuilds");
         let h = GateKind::H.base_matrix().unwrap();
         let mut want = qtask_num::vecops::ket_zero(4);

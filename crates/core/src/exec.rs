@@ -101,8 +101,21 @@ impl<'a> ExecView<'a> {
 
     /// Publishes `data` as block `b` of `row`, registering the row in the
     /// owner index. All executor-side publications go through here so the
-    /// index never misses an ownership change.
+    /// index never misses an ownership change — and so one probe covers
+    /// every publication (`exec/publish_row` panics mid-publish;
+    /// `exec/corrupt_row` poisons an amplitude with NaN/Inf to exercise
+    /// the numerical policy).
     pub fn publish(&self, row_id: RowId, row: &Row, b: usize, data: BlockData) {
+        qtask_faults::fault_point!("exec/publish_row");
+        #[cfg(feature = "faults")]
+        let mut data = data;
+        qtask_faults::fault_point_corrupt!("exec/corrupt_row", |v: f64| {
+            if let Some(buf) = Arc::get_mut(&mut data) {
+                if let Some(z) = buf.first_mut() {
+                    *z = Complex64 { re: v, im: v };
+                }
+            }
+        });
         row.vector.publish(b, data);
         self.owners.add(b, row_id, |r| self.label_of(r));
     }
@@ -142,7 +155,12 @@ impl BlockSet {
                 resolved.fill_into(b, buf);
                 arc
             }
-            None => Arc::new(resolved.to_vec(b, view.geom.block_size())),
+            None => {
+                // Simulated allocation failure lands here: the cold path
+                // that materializes a fresh working buffer.
+                qtask_faults::fault_point!("exec/alloc_block");
+                Arc::new(resolved.to_vec(b, view.geom.block_size()))
+            }
         };
         self.entries.push((b, data));
         self.entries.len() - 1
@@ -182,6 +200,7 @@ impl BlockSet {
 /// Executes the item-rank range `ranks` of a linear partition: the body of
 /// one intra-partition task.
 pub fn exec_linear_partition(view: ExecView<'_>, pid: PartId, ranks: std::ops::Range<u64>) {
+    qtask_faults::fault_point!("exec/linear_task");
     let part = &view.parts[pid.key()];
     let row_id = part.row;
     let row = &view.rows[row_id.key()];
@@ -381,6 +400,7 @@ impl SourceCache {
 /// Executes one MxV partition: computes its single output block of the
 /// net's grouped superposition operator.
 pub fn exec_mxv_partition(view: ExecView<'_>, pid: PartId) {
+    qtask_faults::fault_point!("exec/mxv_task");
     let part = &view.parts[pid.key()];
     let row_id = part.row;
     let row = &view.rows[row_id.key()];
@@ -390,10 +410,10 @@ pub fn exec_mxv_partition(view: ExecView<'_>, pid: PartId) {
     let geom = &view.geom;
     let bs = geom.block_size();
     let base = block * bs;
-    let mut out_arc = row
-        .vector
-        .take_reusable_arc(block)
-        .unwrap_or_else(|| Arc::new(vec![Complex64::ZERO; bs]));
+    let mut out_arc = row.vector.take_reusable_arc(block).unwrap_or_else(|| {
+        qtask_faults::fault_point!("exec/alloc_block");
+        Arc::new(vec![Complex64::ZERO; bs])
+    });
     let out = Arc::get_mut(&mut out_arc).expect("output buffer is unique");
     match row.fused {
         Some(ref fused) if view.kernels == KernelPolicy::Batched => {
@@ -522,7 +542,7 @@ mod tests {
         ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
         ckt.insert_gate(GateKind::U3(0.3, 0.8, 1.1), net, &[3])
             .unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let fused_state = ckt.state();
 
         let mut cfg = SimConfig::with_block_size(4).with_kernels(KernelPolicy::Scalar);
@@ -532,7 +552,7 @@ mod tests {
         ckt2.insert_gate(GateKind::H, net, &[0]).unwrap();
         ckt2.insert_gate(GateKind::U3(0.3, 0.8, 1.1), net, &[3])
             .unwrap();
-        ckt2.update_state();
+        ckt2.update_state().unwrap();
         assert_eq!(fused_state, ckt2.state());
     }
 
@@ -553,7 +573,7 @@ mod tests {
             let tail = ckt.push_net();
             ckt.insert_gate(GateKind::U3(0.7, 0.2, 1.9), tail, &[5])
                 .unwrap();
-            ckt.update_state();
+            ckt.update_state().unwrap();
             ckt.state()
         };
         let batched = build(KernelPolicy::Batched);

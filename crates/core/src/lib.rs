@@ -39,6 +39,7 @@ pub mod config;
 pub mod cow;
 pub mod dump;
 pub mod engine;
+pub mod error;
 pub mod exec;
 pub mod fused;
 pub mod owners;
@@ -50,8 +51,11 @@ pub mod snapshot;
 pub mod test_support;
 pub mod txn;
 
-pub use config::{KernelPolicy, ResolvePolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
-pub use engine::{Ckt, UpdateReport};
+pub use config::{
+    KernelPolicy, NumericalPolicy, ResolvePolicy, RowOrderPolicy, SimConfig, SnapshotPolicy,
+};
+pub use engine::{Ckt, RecoveryReport, UpdateReport};
+pub use error::{EngineError, InvariantViolation};
 pub use owners::OwnerIndex;
 pub use queries::QueryReport;
 pub use row::{PartId, RowId};

@@ -16,8 +16,10 @@
 
 use crate::cow::{BlockData, Resolved};
 use crate::engine::Ckt;
+use crate::error::{payload_text, EngineError};
 use crate::owners::ResolveStats;
 use qtask_num::Complex64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 
 /// Resolution work performed by one query ([`Ckt::amplitude_reported`],
@@ -114,11 +116,16 @@ impl Ckt {
     }
 
     /// The amplitude of basis state `idx`.
+    ///
+    /// Panics when `idx` is out of range or the engine is poisoned —
+    /// [`Ckt::try_amplitude`] is the non-panicking variant.
     pub fn amplitude(&self, idx: usize) -> Complex64 {
+        self.assert_healthy();
         assert!(idx < self.geom.state_len(), "basis index out of range");
         let b = self.geom.block_of(idx);
         self.resolve_final(b)
             .read(b, self.geom.offset_in_block(idx))
+            * self.renorm_scale()
     }
 
     /// [`Ckt::amplitude`] plus the resolution work the lookup performed
@@ -141,16 +148,21 @@ impl Ckt {
 
     /// The full state vector (materializes `2^n` amplitudes).
     pub fn state(&self) -> Vec<Complex64> {
+        self.assert_healthy();
         let bs = self.geom.block_size();
+        let scale = self.renorm_scale();
         let mut out = Vec::with_capacity(self.geom.state_len());
         for b in 0..self.geom.num_blocks() {
             match self.resolve_final(b) {
-                Resolved::Data(d) => out.extend_from_slice(&d),
+                // `x * 1.0` is bit-exact for finite f64, but the unscaled
+                // path keeps the common case a memcpy.
+                Resolved::Data(d) if scale == 1.0 => out.extend_from_slice(&d),
+                Resolved::Data(d) => out.extend(d.iter().map(|&z| z * scale)),
                 Resolved::Initial => {
                     let start = out.len();
                     out.resize(start + bs, Complex64::ZERO);
                     if b == 0 {
-                        out[0] = Complex64::ONE;
+                        out[0] = Complex64::ONE * scale;
                     }
                 }
             }
@@ -177,6 +189,8 @@ impl Ckt {
 
     /// Sum of squared amplitudes (≈ 1 for a consistent state).
     pub fn norm_sqr(&self) -> f64 {
+        self.assert_healthy();
+        let p_scale = self.renorm_scale() * self.renorm_scale();
         (0..self.geom.num_blocks())
             .map(|b| match self.resolve_final(b) {
                 Resolved::Data(d) => d.iter().map(|z| z.norm_sqr()).sum::<f64>(),
@@ -188,7 +202,8 @@ impl Ckt {
                     }
                 }
             })
-            .sum()
+            .sum::<f64>()
+            * p_scale
     }
 
     /// [`Ckt::norm_sqr`] plus the resolution work it performed.
@@ -198,12 +213,14 @@ impl Ckt {
 
     /// Draws one computational-basis measurement outcome.
     pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        self.assert_healthy();
+        let p_scale = self.renorm_scale() * self.renorm_scale();
         let mut target: f64 = rng.random::<f64>();
         let bs = self.geom.block_size();
         for b in 0..self.geom.num_blocks() {
             let resolved = self.resolve_final(b);
             for off in 0..bs {
-                let p = resolved.read(b, off).norm_sqr();
+                let p = resolved.read(b, off).norm_sqr() * p_scale;
                 if target < p {
                     return b * bs + off;
                 }
@@ -217,6 +234,73 @@ impl Ckt {
     /// block resolution per block).
     pub fn sample_reported<R: rand::Rng>(&self, rng: &mut R) -> (usize, QueryReport) {
         self.with_query_report(|ckt| ckt.sample(rng))
+    }
+
+    // ---- fallible query surface -----------------------------------------
+    //
+    // The try_ variants return typed errors where the methods above
+    // panic: `Poisoned` on a poisoned engine, `IndexOutOfRange` on a bad
+    // basis index, and `Inconsistent` when resolution itself panics (a
+    // broken invariant the read path tripped over — the read mutates
+    // nothing, so the engine is NOT poisoned; `Ckt::audit` locates the
+    // damage).
+
+    /// Runs one read-only query with panic containment, mapping an unwind
+    /// to [`EngineError::Inconsistent`].
+    fn try_query<T>(&self, f: impl FnOnce(&Self) -> T) -> Result<T, EngineError> {
+        self.ensure_healthy()?;
+        qtask_faults::fault_point_err!("query/read", EngineError::injected("query/read"));
+        catch_unwind(AssertUnwindSafe(|| f(self))).map_err(|payload| EngineError::Inconsistent {
+            detail: payload_text(payload.as_ref()),
+        })
+    }
+
+    /// Range check shared by the indexed try_ queries.
+    fn check_idx(&self, idx: usize) -> Result<(), EngineError> {
+        let len = self.geom.state_len();
+        if idx < len {
+            Ok(())
+        } else {
+            Err(EngineError::IndexOutOfRange { idx, len })
+        }
+    }
+
+    /// [`Ckt::amplitude`] returning errors instead of panicking.
+    pub fn try_amplitude(&self, idx: usize) -> Result<Complex64, EngineError> {
+        self.check_idx(idx)?;
+        self.try_query(|ckt| ckt.amplitude(idx))
+    }
+
+    /// [`Ckt::probability`] returning errors instead of panicking.
+    pub fn try_probability(&self, idx: usize) -> Result<f64, EngineError> {
+        self.check_idx(idx)?;
+        self.try_query(|ckt| ckt.probability(idx))
+    }
+
+    /// [`Ckt::state`] returning errors instead of panicking.
+    pub fn try_state(&self) -> Result<Vec<Complex64>, EngineError> {
+        self.try_query(|ckt| ckt.state())
+    }
+
+    /// [`Ckt::probabilities`] returning errors instead of panicking.
+    pub fn try_probabilities(&self) -> Result<Vec<f64>, EngineError> {
+        self.try_query(|ckt| ckt.probabilities())
+    }
+
+    /// [`Ckt::norm_sqr`] returning errors instead of panicking.
+    pub fn try_norm_sqr(&self) -> Result<f64, EngineError> {
+        self.try_query(|ckt| ckt.norm_sqr())
+    }
+
+    /// [`Ckt::sample`] returning errors instead of panicking.
+    pub fn try_sample<R: rand::Rng>(&self, rng: &mut R) -> Result<usize, EngineError> {
+        self.ensure_healthy()?;
+        qtask_faults::fault_point_err!("query/read", EngineError::injected("query/read"));
+        catch_unwind(AssertUnwindSafe(|| self.sample(rng))).map_err(|payload| {
+            EngineError::Inconsistent {
+                detail: payload_text(payload.as_ref()),
+            }
+        })
     }
 
     /// Debug introspection: every partition as

@@ -43,6 +43,34 @@ pub(crate) struct SnapInner {
     /// Resolution work the capture performed (incremental: only blocks
     /// dirtied since the previous snapshot are re-resolved).
     pub(crate) capture_report: QueryReport,
+    /// Renormalization scale applied to every amplitude read (1.0 unless
+    /// the engine runs [`crate::NumericalPolicy::Renormalize`] and
+    /// detected drift at capture). Stored rather than baked into the
+    /// blocks: the buffers are shared copy-on-write with the engine's
+    /// rows, so mutating them would break MVCC isolation.
+    pub(crate) scale: f64,
+}
+
+impl SnapInner {
+    /// Assembles a snapshot's interior. The single choke point for
+    /// snapshot publication — it carries the `snapshot/publish` fault
+    /// probe.
+    pub(crate) fn new(
+        version: u64,
+        geom: BlockGeometry,
+        blocks: Vec<Option<BlockData>>,
+        capture_report: QueryReport,
+        scale: f64,
+    ) -> SnapInner {
+        qtask_faults::fault_point!("snapshot/publish");
+        SnapInner {
+            version,
+            geom,
+            blocks,
+            capture_report,
+            scale,
+        }
+    }
 }
 
 /// An immutable view of the simulated state as of one
@@ -78,6 +106,14 @@ impl StateSnapshot {
         self.inner.capture_report
     }
 
+    /// The renormalization scale baked into every amplitude this snapshot
+    /// reports: 1.0 unless the engine ran
+    /// [`crate::NumericalPolicy::Renormalize`] and absorbed norm drift at
+    /// capture time.
+    pub fn scale(&self) -> f64 {
+        self.inner.scale
+    }
+
     /// Number of blocks holding materialized data (the rest are the
     /// implicit initial state — untouched blocks cost nothing here
     /// either).
@@ -103,7 +139,7 @@ impl StateSnapshot {
     pub fn amplitude(&self, idx: usize) -> Complex64 {
         assert!(idx < self.state_len(), "basis index out of range");
         let geom = &self.inner.geom;
-        self.read(geom.block_of(idx), geom.offset_in_block(idx))
+        self.read(geom.block_of(idx), geom.offset_in_block(idx)) * self.inner.scale
     }
 
     /// The probability of basis state `idx`.
@@ -114,15 +150,19 @@ impl StateSnapshot {
     /// The full state vector (materializes `2^n` amplitudes).
     pub fn state(&self) -> Vec<Complex64> {
         let bs = self.inner.geom.block_size();
+        let scale = self.inner.scale;
         let mut out = Vec::with_capacity(self.state_len());
         for (b, slot) in self.inner.blocks.iter().enumerate() {
             match slot {
-                Some(d) => out.extend_from_slice(d),
+                // `x * 1.0` is bit-exact for finite f64, but the unscaled
+                // path keeps the common case a memcpy.
+                Some(d) if scale == 1.0 => out.extend_from_slice(d),
+                Some(d) => out.extend(d.iter().map(|&z| z * scale)),
                 None => {
                     let start = out.len();
                     out.resize(start + bs, Complex64::ZERO);
                     if b == 0 {
-                        out[0] = Complex64::ONE;
+                        out[0] = Complex64::ONE * scale;
                     }
                 }
             }
@@ -133,15 +173,16 @@ impl StateSnapshot {
     /// All basis-state probabilities.
     pub fn probabilities(&self) -> Vec<f64> {
         let bs = self.inner.geom.block_size();
+        let p_scale = self.inner.scale * self.inner.scale;
         let mut out = Vec::with_capacity(self.state_len());
         for (b, slot) in self.inner.blocks.iter().enumerate() {
             match slot {
-                Some(d) => out.extend(d.iter().map(|z| z.norm_sqr())),
+                Some(d) => out.extend(d.iter().map(|z| z.norm_sqr() * p_scale)),
                 None => {
                     let start = out.len();
                     out.resize(start + bs, 0.0);
                     if b == 0 {
-                        out[0] = 1.0;
+                        out[0] = p_scale;
                     }
                 }
             }
@@ -151,6 +192,7 @@ impl StateSnapshot {
 
     /// Sum of squared amplitudes (≈ 1 for a consistent state).
     pub fn norm_sqr(&self) -> f64 {
+        let p_scale = self.inner.scale * self.inner.scale;
         self.inner
             .blocks
             .iter()
@@ -165,20 +207,22 @@ impl StateSnapshot {
                     }
                 }
             })
-            .sum()
+            .sum::<f64>()
+            * p_scale
     }
 
     /// Draws one computational-basis measurement outcome.
     pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
         let mut target: f64 = rng.random::<f64>();
+        let p_scale = self.inner.scale * self.inner.scale;
         let bs = self.inner.geom.block_size();
         for (b, slot) in self.inner.blocks.iter().enumerate() {
             for off in 0..bs {
                 let p = match slot {
-                    Some(d) => d[off].norm_sqr(),
+                    Some(d) => d[off].norm_sqr() * p_scale,
                     None => {
                         if b == 0 && off == 0 {
-                            1.0
+                            p_scale
                         } else {
                             0.0
                         }
@@ -256,12 +300,13 @@ mod tests {
     fn initial_snapshot(n_qubits: u8, block_size: usize) -> StateSnapshot {
         let geom = BlockGeometry::new(n_qubits, block_size);
         StateSnapshot {
-            inner: Arc::new(SnapInner {
-                version: 1,
+            inner: Arc::new(SnapInner::new(
+                1,
                 geom,
-                blocks: vec![None; geom.num_blocks()],
-                capture_report: QueryReport::default(),
-            }),
+                vec![None; geom.num_blocks()],
+                QueryReport::default(),
+                1.0,
+            )),
         }
     }
 

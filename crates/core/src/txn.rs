@@ -27,11 +27,12 @@
 //!     })
 //!     .expect("no conflicts");
 //! assert_eq!(receipt.gates_inserted, 1);
-//! ckt.update_state();
+//! ckt.update_state().unwrap();
 //! ckt.remove_gate(gid).expect("the staged id is live after commit");
 //! ```
 
 use crate::engine::Ckt;
+use crate::error::EngineError;
 use qtask_circuit::{Circuit, CircuitError, EditOp, GateId, NetId, StagedBatch};
 use qtask_gates::GateKind;
 
@@ -150,17 +151,36 @@ impl Ckt {
     /// Returns the closure's value alongside an [`EditReceipt`]. As with
     /// the direct modifiers, call [`Ckt::update_state`] after committing
     /// to re-simulate (and publish a fresh [`crate::StateSnapshot`]).
+    ///
+    /// Failure semantics: a closure `Err` (or a panic *in the closure*)
+    /// leaves the engine untouched — staging only reads it. Circuit
+    /// errors surface as [`EngineError::Circuit`]. Only the commit replay
+    /// mutates the engine; a panic there is contained and poisons it like
+    /// any direct modifier.
     pub fn edit<T>(
         &mut self,
         f: impl FnOnce(&mut EditTxn) -> Result<T, CircuitError>,
-    ) -> Result<(T, EditReceipt), CircuitError> {
+    ) -> Result<(T, EditReceipt), EngineError> {
+        self.ensure_healthy()?;
+        qtask_faults::fault_point_err!("txn/edit_begin", EngineError::injected("txn/edit_begin"));
         let mut txn = EditTxn {
             batch: StagedBatch::new(self.circuit()),
             gates_removed: 0,
         };
-        let value = f(&mut txn)?;
+        let value = f(&mut txn).map_err(EngineError::Circuit)?;
         let gates_removed = txn.gates_removed;
         let ops = txn.batch.into_ops();
+        let receipt = self.contain(move |ckt| ckt.commit_ops(ops, gates_removed))?;
+        Ok((value, receipt))
+    }
+
+    /// Replays a validated op list through the real modifiers. Runs under
+    /// panic containment ([`Ckt::edit`]).
+    fn commit_ops(
+        &mut self,
+        ops: Vec<EditOp>,
+        gates_removed: usize,
+    ) -> Result<EditReceipt, EngineError> {
         let mut receipt = EditReceipt {
             ops_applied: ops.len(),
             gates_removed,
@@ -171,6 +191,7 @@ impl Ckt {
         // failure here is an engine bug, not a user error.
         const COMMIT: &str = "op validated on the shadow circuit must commit";
         for op in ops {
+            qtask_faults::fault_point!("txn/commit_op");
             match op {
                 EditOp::InsertNetFront => {
                     self.insert_net_front();
@@ -203,7 +224,7 @@ impl Ckt {
             }
         }
         receipt.frontier_len = self.frontier_len();
-        Ok((value, receipt))
+        Ok(receipt)
     }
 }
 
@@ -239,11 +260,11 @@ mod tests {
         assert_eq!(ckt.circuit().num_gates(), 2);
         assert!(ckt.circuit().gate(h).is_some());
         assert!(ckt.circuit().gate(cx).is_some());
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // The staged ids drive later direct modifiers.
         ckt.remove_gate(cx).unwrap();
         ckt.remove_gate(h).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert!(ckt.amplitude(0).is_one(1e-12));
     }
 
@@ -252,7 +273,7 @@ mod tests {
         let (mut ckt, n1, n2) = two_net_ckt();
         ckt.insert_gate(GateKind::H, n1, &[0]).unwrap();
         ckt.insert_gate(GateKind::Cx, n2, &[0, 1]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let parts_before = ckt.debug_partitions();
         let rows_before = ckt.debug_rows();
         let state_before = ckt.state();
@@ -267,7 +288,10 @@ mod tests {
                 Ok(())
             })
             .unwrap_err();
-        assert_eq!(err, CircuitError::NetConflict { qubit: 2 });
+        assert_eq!(
+            err,
+            EngineError::Circuit(CircuitError::NetConflict { qubit: 2 })
+        );
         assert_eq!(ckt.circuit().num_gates(), 2);
         assert_eq!(ckt.circuit().num_nets(), 2);
         assert_eq!(ckt.debug_partitions(), parts_before);
@@ -287,7 +311,7 @@ mod tests {
                 Err::<(), _>(CircuitError::StaleGate)
             })
             .unwrap_err();
-        assert_eq!(err, CircuitError::StaleGate);
+        assert_eq!(err, EngineError::Circuit(CircuitError::StaleGate));
         assert_eq!(ckt.circuit().num_gates(), 0);
         assert_eq!(ckt.num_rows(), 0);
     }

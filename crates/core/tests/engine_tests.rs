@@ -71,7 +71,7 @@ fn initial_state_before_any_update() {
 fn figure2_full_simulation() {
     let (mut ckt, _, _) = figure2_ckt(4);
     ckt.validate_graph().unwrap();
-    let report = ckt.update_state();
+    let report = ckt.update_state().unwrap();
     assert!(report.partitions_executed > 0);
     assert_matches_oracle(&ckt, "figure2 full");
     // All 32 amplitudes of H^{⊗5} then CNOTs have magnitude 1/√32.
@@ -104,28 +104,28 @@ fn figure2_partition_structure() {
 fn figure7_to_11_incremental_walkthrough() {
     // The paper's running modifier example: remove G8, insert G10, update.
     let (mut ckt, nets, gates) = figure2_ckt(4);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let g8 = gates[7];
     ckt.remove_gate(g8).unwrap();
     ckt.validate_graph().unwrap();
     let g10 = ckt.insert_gate(GateKind::Cx, nets[3], &[2, 1]).unwrap(); // CNOT(ctrl q2, tgt q1)
     ckt.validate_graph().unwrap();
-    let report = ckt.update_state();
+    let report = ckt.update_state().unwrap();
     assert!(report.partitions_executed > 0);
     assert_matches_oracle(&ckt, "figure8 incremental");
     // And removing G10 again restores the G8-less circuit.
     ckt.remove_gate(g10).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "G10 removed");
 }
 
 #[test]
 fn incremental_update_touches_fewer_partitions() {
     let (mut ckt, nets, _) = figure2_ckt(4);
-    let full = ckt.update_state();
+    let full = ckt.update_state().unwrap();
     // Modify only the last net: insert an X gate (anti-diagonal row).
     ckt.insert_gate(GateKind::X, nets[4], &[1]).unwrap();
-    let inc = ckt.update_state();
+    let inc = ckt.update_state().unwrap();
     assert!(
         inc.partitions_executed < full.partitions_executed,
         "incremental {} vs full {}",
@@ -138,18 +138,18 @@ fn incremental_update_touches_fewer_partitions() {
 #[test]
 fn update_with_empty_frontier_is_noop() {
     let (mut ckt, _, _) = figure2_ckt(4);
-    ckt.update_state();
-    let second = ckt.update_state();
+    ckt.update_state().unwrap();
+    let second = ckt.update_state().unwrap();
     assert_eq!(second.partitions_executed, 0);
 }
 
 #[test]
 fn removal_then_query_without_update_is_visible_after_update() {
     let (mut ckt, _, gates) = figure2_ckt(4);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     // Remove one Hadamard; after update the state must match the oracle.
     ckt.remove_gate(gates[2]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "H removed");
 }
 
@@ -161,7 +161,7 @@ fn identity_gates_create_no_rows() {
     ckt.insert_gate(GateKind::Rz(0.0), net, &[1]).unwrap();
     assert_eq!(ckt.num_rows(), 0);
     assert_eq!(ckt.num_partitions(), 0);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert!(ckt.amplitude(0).is_one(1e-12));
 }
 
@@ -176,7 +176,7 @@ fn dense_gates_group_into_one_mxv_row() {
     }
     // One sync + one MxV row despite four dense gates.
     assert_eq!(ckt.num_rows(), 2);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "H⊗4 net");
     let amp = 1.0 / 4.0;
     for i in 0..16 {
@@ -198,13 +198,13 @@ fn capped_mxv_groups_chain_and_match_oracle() {
     }
     assert_eq!(ckt.num_rows(), 6); // 3 × (sync + MxV)
     ckt.validate_graph().unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "chained MxV groups");
     // Remove the 5th H (alone in its pair): rows drop by 2.
     ckt.remove_gate(hs[4]).unwrap();
     assert_eq!(ckt.num_rows(), 4);
     ckt.validate_graph().unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "chained MxV after removal");
 }
 
@@ -215,15 +215,15 @@ fn removing_last_dense_gate_drops_mxv_and_sync() {
     let h = ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
     let x = ckt.insert_gate(GateKind::X, net, &[1]).unwrap();
     assert_eq!(ckt.num_rows(), 3); // sync + MxV + X row
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.remove_gate(h).unwrap();
     assert_eq!(ckt.num_rows(), 1);
     ckt.validate_graph().unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "dense gate removed");
     ckt.remove_gate(x).unwrap();
     assert_eq!(ckt.num_rows(), 0);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert!(ckt.amplitude(0).is_one(1e-9));
 }
 
@@ -236,7 +236,7 @@ fn cow_shares_untouched_blocks() {
     let net2 = ckt.push_net();
     ckt.insert_gate(GateKind::H, net1, &[4]).unwrap();
     ckt.insert_gate(GateKind::Cx, net2, &[4, 3]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let stats = ckt.memory_stats();
     // MxV owns all 8 blocks; the CNOT row owns only blocks 4..7.
     assert_eq!(stats.owned_blocks, 8 + 4);
@@ -246,10 +246,10 @@ fn cow_shares_untouched_blocks() {
 #[test]
 fn remove_net_removes_all_rows() {
     let (mut ckt, nets, _) = figure2_ckt(4);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.remove_net(nets[0]).unwrap(); // drop all the Hadamards
     ckt.validate_graph().unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "net removed");
     // Only CNOT rows remain; on |00000> CNOTs do nothing.
     assert!(ckt.amplitude(0).is_one(1e-9));
@@ -268,7 +268,7 @@ fn swap_and_diag_and_ccx_mix() {
     ckt.insert_gate(GateKind::T, n2, &[3]).unwrap();
     ckt.insert_gate(GateKind::Ccx, n3, &[0, 1, 3]).unwrap();
     ckt.insert_gate(GateKind::Cp(0.7), n4, &[2, 0]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "mixed gate kinds");
 }
 
@@ -276,10 +276,10 @@ fn swap_and_diag_and_ccx_mix() {
 fn modifiers_across_block_sizes_match_oracle() {
     for block_size in [1usize, 2, 8, 64, 1024] {
         let (mut ckt, nets, gates) = figure2_ckt(block_size);
-        ckt.update_state();
+        ckt.update_state().unwrap();
         ckt.remove_gate(gates[6]).unwrap(); // G7
         ckt.insert_gate(GateKind::Z, nets[2], &[4]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert_matches_oracle(&ckt, &format!("block size {block_size}"));
     }
 }
@@ -295,7 +295,7 @@ fn append_policy_matches_sorted_policy() {
         ckt.insert_gate(GateKind::X, net, &[3]).unwrap(); // wide partition
         ckt.insert_gate(GateKind::Z, net, &[0]).unwrap(); // narrow
         ckt.insert_gate(GateKind::Cx, net, &[1, 2]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert_matches_oracle(&ckt, &format!("{policy:?}"));
     }
 }
@@ -357,12 +357,12 @@ fn random_modifier_storm_matches_oracle() {
             ckt.validate_owner_index()
                 .unwrap_or_else(|e| panic!("trial {trial} step {step}: owner index: {e}"));
             if rng.random_bool(0.3) {
-                ckt.update_state();
+                ckt.update_state().unwrap();
                 ckt.validate_owner_index()
                     .unwrap_or_else(|e| panic!("trial {trial} step {step}: post-update: {e}"));
             }
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert_matches_oracle(
             &ckt,
             &format!("storm trial {trial} (n={n}, B={block_size})"),
@@ -381,7 +381,7 @@ fn deep_narrow_circuit() {
         let (kind, qubits) = random_gate(&mut rng, 3);
         ckt.insert_gate(kind, net, &qubits).unwrap();
     }
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "deep narrow");
 }
 
@@ -402,7 +402,7 @@ fn level_by_level_protocol() {
         for (kind, qubits) in layer {
             ckt.insert_gate(*kind, net, qubits).unwrap();
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
     }
     assert_matches_oracle(&ckt, "level-by-level");
 }
@@ -410,12 +410,12 @@ fn level_by_level_protocol() {
 #[test]
 fn insert_into_middle_net_after_update() {
     let (mut ckt, nets, _) = figure2_ckt(4);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     // Insert a dense gate into net3 (which already has a CNOT): forces
     // sync+MxV insertion *before* existing linear rows mid-chain.
     ckt.insert_gate(GateKind::Ry(0.9), nets[2], &[0]).unwrap();
     ckt.validate_graph().unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     assert_matches_oracle(&ckt, "mid-chain dense insertion");
 }
 
@@ -446,12 +446,12 @@ fn resolve_policies_agree_and_index_probes_stay_flat() {
     let mut states = Vec::new();
     for policy in [ResolvePolicy::OwnerIndex, ResolvePolicy::ChainWalk] {
         let mut ckt = phase_chain(512, policy);
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // One trailing X(q0): touches every block, so its task reads the
         // bottom-half blocks that no chain row owns.
         let net = ckt.push_net();
         ckt.insert_gate(GateKind::X, net, &[0]).unwrap();
-        let report = ckt.update_state();
+        let report = ckt.update_state().unwrap();
         assert!(report.blocks_resolved > 0, "{policy:?} resolved no blocks");
         states.push(ckt.state());
         reports.push(report);
@@ -484,10 +484,10 @@ fn owner_index_probe_cost_is_depth_independent() {
     let mut costs = Vec::new();
     for depth in [128usize, 512] {
         let mut ckt = phase_chain(depth, qtask_core::ResolvePolicy::OwnerIndex);
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let net = ckt.push_net();
         ckt.insert_gate(GateKind::X, net, &[0]).unwrap();
-        let report = ckt.update_state();
+        let report = ckt.update_state().unwrap();
         costs.push(report.owner_probes as f64 / report.blocks_resolved.max(1) as f64);
     }
     assert!(
@@ -502,14 +502,14 @@ fn owner_index_consistent_after_removal_storm_on_deep_chain() {
     // then update: the index must match ground truth and the state the
     // oracle.
     let mut ckt = phase_chain(120, qtask_core::ResolvePolicy::OwnerIndex);
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let gates: Vec<qtask_circuit::GateId> =
         ckt.circuit().ordered_gates().map(|(gid, _)| gid).collect();
     for gid in gates.iter().step_by(3) {
         ckt.remove_gate(*gid).unwrap();
         ckt.validate_owner_index().unwrap();
     }
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.validate_owner_index().unwrap();
     assert_matches_oracle(&ckt, "post-removal deep chain");
 }
@@ -525,7 +525,7 @@ fn query_reports_surface_resolution_work() {
             let net = ckt.push_net();
             ckt.insert_gate(GateKind::H, net, &[target]).unwrap();
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // A single amplitude resolves exactly one block.
         let (amp, report) = ckt.amplitude_reported(0);
         assert_eq!(report.blocks_resolved, 1, "{resolve:?}");
@@ -555,7 +555,7 @@ fn query_reports_surface_resolution_work() {
             let net = ckt.push_net();
             ckt.insert_gate(GateKind::T, net, &[7]).unwrap();
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // Block 0 is owned only by early rows: the chain walk scans the
         // whole row list, the index binary-searches it.
         let (_, report) = ckt.amplitude_reported(0);

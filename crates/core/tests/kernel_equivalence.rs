@@ -90,7 +90,7 @@ fn run_engine(
             ckt.insert_gate(*kind, net, qubits).unwrap();
         }
     }
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.state()
 }
 
@@ -183,7 +183,7 @@ fn incremental_toggles_agree_across_kernel_policies() {
                     net
                 })
                 .collect();
-            ckt.update_state();
+            ckt.update_state().unwrap();
             net_ids.push(ids);
         }
         for round in 0..4 {
@@ -197,10 +197,10 @@ fn incremental_toggles_agree_across_kernel_policies() {
             let mut states = Vec::new();
             for (ckt, ids) in sims.iter_mut().zip(&net_ids) {
                 let gid = ckt.insert_gate(kind, ids[pick], &[target]);
-                ckt.update_state();
+                ckt.update_state().unwrap();
                 if let Ok(gid) = gid {
                     ckt.remove_gate(gid).unwrap();
-                    ckt.update_state();
+                    ckt.update_state().unwrap();
                 }
                 states.push(ckt.state());
             }

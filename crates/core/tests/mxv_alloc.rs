@@ -40,7 +40,7 @@ fn warm_mxv_reexecution_allocates_nothing() {
     ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
     ckt.insert_gate(GateKind::Ch, net, &[4, 2]).unwrap();
     // First update builds the fused cache and materializes the buffers.
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let pids = test_support::mxv_partitions(&ckt);
     assert!(!pids.is_empty());
     // One more warm pass outside the measurement window (owner-index
@@ -81,7 +81,7 @@ fn warm_linear_reexecution_allocates_nothing() {
         let net = ckt.push_net();
         ckt.insert_gate(kind, net, qubits).unwrap();
     }
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let pids = test_support::linear_partitions(&ckt);
     assert!(!pids.is_empty());
     // Warm pass: grows each partition's scratch pool and the entry-vector
@@ -116,17 +116,17 @@ fn fused_cache_survives_unrelated_updates() {
     let net = ckt.push_net();
     ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
     let tail = ckt.push_net();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     // Toggling a later linear gate must not disturb the MxV row's warm
     // buffers or require re-resolving more than the dirty partitions.
     for _ in 0..3 {
         let gid = ckt.insert_gate(GateKind::Z, tail, &[0]).unwrap();
-        let report = ckt.update_state();
+        let report = ckt.update_state().unwrap();
         assert!(report.partitions_executed > 0);
         ckt.remove_gate(gid).unwrap();
         // Removing the tail row leaves no dirty successors: the update is
         // a no-op and queries see through the cleared COW layer.
-        ckt.update_state();
+        ckt.update_state().unwrap();
     }
     let inv = 1.0 / 2.0f64.sqrt();
     assert!((ckt.amplitude(0).re - inv).abs() < 1e-12);
@@ -149,12 +149,12 @@ fn publish_policy_forks_only_for_live_readers() {
     ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
     let tail = ckt.push_net();
     ckt.insert_gate(GateKind::X, tail, &[2]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let toggle = |ckt: &mut Ckt| {
         let gid = ckt.insert_gate(GateKind::Z, tail, &[1]).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
         ckt.remove_gate(gid).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
     };
     // Warm up twice: steady-state graph scratch, pools, buffers.
     toggle(&mut ckt);

@@ -38,6 +38,46 @@ use std::thread::JoinHandle;
 use crate::graph::{Subflow, Taskflow, Work};
 use crate::observer::{ExecEvent, Observer};
 
+/// Structured description of a task panic, returned by
+/// [`Executor::try_run`]. The graph is always drained before this is
+/// produced — no task is left queued and the executor stays usable.
+#[derive(Debug, Clone)]
+pub struct TaskPanic {
+    /// Name of the first task that panicked.
+    pub task: Arc<str>,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task '{}' panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a panic payload as text for [`TaskPanic::message`].
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-injection probe on the per-task execution path (inside the
+/// per-task `catch_unwind`, so an injected panic is contained exactly
+/// like a real task panic). Compiles to nothing without the `faults`
+/// feature.
+#[inline]
+fn task_probe() {
+    qtask_faults::fault_point!("taskflow/task");
+}
+
 /// A unit of scheduled work: a pointer to a live run node.
 #[derive(Clone, Copy)]
 struct Job(*const RunNode);
@@ -72,6 +112,9 @@ struct DoneGate {
     cv: Condvar,
 }
 
+/// First panic observed in a run: the task's name plus its payload.
+type FirstPanic = Mutex<Option<(Arc<str>, Box<dyn Any + Send + 'static>)>>;
+
 struct RunCtx {
     // The boxes are load-bearing: `succs`/`parent` hold raw pointers into
     // the nodes, so their addresses must survive vector growth.
@@ -85,7 +128,8 @@ struct RunCtx {
     pending: AtomicUsize,
     /// Set when a task panicked; remaining closures are skipped.
     cancelled: AtomicBool,
-    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// First panic: the task's name plus its payload.
+    panic: FirstPanic,
     done: Arc<DoneGate>,
 }
 
@@ -175,10 +219,41 @@ impl Executor {
     /// tasks are skipped but the graph is drained deterministically).
     ///
     /// # Panics
-    /// Panics if the graph contains a dependency cycle.
+    /// Panics if the graph contains a dependency cycle, or to re-raise a
+    /// task panic. Use [`Executor::try_run`] for a non-panicking report.
     pub fn run<'env>(&self, tf: &Taskflow<'env>) {
+        if let Some((_, payload)) = self.run_inner(tf) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Executes `tf` to completion, blocking the caller, and reports the
+    /// first task panic as a structured [`TaskPanic`] instead of
+    /// unwinding. The graph is drained either way: downstream tasks of a
+    /// panicking task are cancelled (their closures skipped), every node
+    /// is consumed, and the executor remains usable.
+    ///
+    /// # Panics
+    /// Panics if the graph contains a static dependency cycle (a
+    /// caller-side construction bug, detected before execution starts).
+    pub fn try_run<'env>(&self, tf: &Taskflow<'env>) -> Result<(), TaskPanic> {
+        match self.run_inner(tf) {
+            None => Ok(()),
+            Some((task, payload)) => Err(TaskPanic {
+                task,
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Shared body of [`run`](Executor::run)/[`try_run`](Executor::try_run):
+    /// executes the graph and returns the first task panic, if any.
+    fn run_inner<'env>(
+        &self,
+        tf: &Taskflow<'env>,
+    ) -> Option<(Arc<str>, Box<dyn Any + Send + 'static>)> {
         if tf.is_empty() {
-            return;
+            return None;
         }
         let n = tf.nodes.len();
         // Build run nodes.
@@ -265,9 +340,7 @@ impl Executor {
         }
         let payload = ctx.panic.lock().take();
         drop(ctx);
-        if let Some(p) = payload {
-            std::panic::resume_unwind(p);
-        }
+        payload
     }
 }
 
@@ -366,10 +439,13 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
         None
     };
     if let Some(o) = &observer {
-        o.on_event(&ExecEvent::Begin {
-            name: Arc::clone(&node.name),
-            worker: widx,
-        });
+        notify(
+            o,
+            ExecEvent::Begin {
+                name: Arc::clone(&node.name),
+                worker: widx,
+            },
+        );
     }
     let cancelled = ctx.cancelled.load(Ordering::Relaxed);
     let mut deferred = false;
@@ -378,8 +454,11 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
         RunWork::Static(f) => {
             if !cancelled {
                 let f = unsafe { &**f };
-                if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
-                    record_panic(ctx, p);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    task_probe();
+                    f()
+                })) {
+                    record_panic(ctx, &node.name, p);
                 }
             }
         }
@@ -387,14 +466,16 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
             if !cancelled {
                 let f = unsafe { &**f };
                 let mut sf = Subflow::new();
-                match catch_unwind(AssertUnwindSafe(|| f(&mut sf))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    task_probe();
+                    f(&mut sf)
+                })) {
                     Ok(()) => {
                         if !sf.is_empty() {
-                            unsafe { spawn_children(ctx, node, sf, inner, local) };
-                            deferred = true;
+                            deferred = unsafe { spawn_children(ctx, node, sf, inner, local) };
                         }
                     }
-                    Err(p) => record_panic(ctx, p),
+                    Err(p) => record_panic(ctx, &node.name, p),
                 }
             }
         }
@@ -404,51 +485,83 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
             let work = unsafe { (*cell.get()).take() };
             if let Some(work) = work {
                 if !cancelled {
-                    if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
-                        record_panic(ctx, p);
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                        task_probe();
+                        work()
+                    })) {
+                        record_panic(ctx, &node.name, p);
                     }
                 }
             }
         }
     }
     if let Some(o) = &observer {
-        o.on_event(&ExecEvent::End {
-            name: Arc::clone(&node.name),
-            worker: widx,
-        });
+        notify(
+            o,
+            ExecEvent::End {
+                name: Arc::clone(&node.name),
+                worker: widx,
+            },
+        );
     }
     if !deferred {
         unsafe { finish(node, ctx, inner, local) };
     }
 }
 
-fn record_panic(ctx: &RunCtx, payload: Box<dyn Any + Send + 'static>) {
+/// Invokes an observer callback with panic containment: a throwing
+/// observer must never kill a worker thread (that would strand the run's
+/// pending counter and hang `run()` forever), so its panics are swallowed.
+fn notify(o: &Arc<dyn Observer>, ev: ExecEvent) {
+    let _ = catch_unwind(AssertUnwindSafe(|| o.on_event(&ev)));
+}
+
+fn record_panic(ctx: &RunCtx, task: &Arc<str>, payload: Box<dyn Any + Send + 'static>) {
     ctx.cancelled.store(true, Ordering::Relaxed);
     let mut slot = ctx.panic.lock();
     if slot.is_none() {
-        *slot = Some(payload);
+        *slot = Some((Arc::clone(task), payload));
     }
 }
 
-/// Materializes subflow children and schedules their roots. The parent's
-/// completion is deferred to the last child (`finish` on the parent).
+/// Materializes subflow children and schedules their roots, returning
+/// true. The parent's completion is then deferred to the last child
+/// (`finish` on the parent). Returns false without spawning anything if
+/// the subflow is cyclic — recorded as a panic of the parent task, so the
+/// caller finishes the parent normally. (A cyclic subflow used to
+/// `assert!` right here on the worker thread, outside any `catch_unwind`:
+/// the worker died, `pending` never drained, and `run()` hung forever.)
 unsafe fn spawn_children(
     ctx: &RunCtx,
     parent: &RunNode,
     mut sf: Subflow<'static>,
     inner: &Inner,
     local: &WorkerDeque<Job>,
-) {
+) -> bool {
     let n = sf.tasks.len();
     let succ_lists: Vec<Vec<usize>> = sf.tasks.iter().map(|t| t.succs.clone()).collect();
+    let roots: Vec<usize> = sf
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.num_preds == 0)
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        record_panic(
+            ctx,
+            &parent.name,
+            Box::new(format!(
+                "subflow '{}' has no root: dependency cycle",
+                parent.name
+            )),
+        );
+        return false;
+    }
     ctx.pending.fetch_add(n, Ordering::SeqCst);
     parent.children.store(n, Ordering::Release);
     let mut boxes: Vec<Box<RunNode>> = Vec::with_capacity(n);
-    let mut roots: Vec<usize> = Vec::new();
     for (i, t) in sf.tasks.iter_mut().enumerate() {
-        if t.num_preds == 0 {
-            roots.push(i);
-        }
         boxes.push(Box::new(RunNode {
             name: Arc::clone(&t.name),
             work: RunWork::Child(UnsafeCell::new(t.work.take())),
@@ -459,11 +572,6 @@ unsafe fn spawn_children(
             ctx: ctx as *const RunCtx,
         }));
     }
-    assert!(
-        !roots.is_empty(),
-        "subflow '{}' has no root: dependency cycle",
-        parent.name
-    );
     let ptrs: Vec<*const RunNode> = boxes.iter().map(|b| &**b as *const RunNode).collect();
     for (i, succs) in succ_lists.iter().enumerate() {
         for &s in succs {
@@ -475,6 +583,7 @@ unsafe fn spawn_children(
     for r in roots {
         enqueue_local(inner, local, Job(ptrs[r]));
     }
+    true
 }
 
 /// Completes a node: fires successors, joins its parent subflow, and
@@ -826,6 +935,94 @@ mod tests {
             }
         });
         assert_eq!(total.load(O::SeqCst), 100);
+    }
+
+    #[test]
+    fn try_run_reports_structured_panic() {
+        let ex = Executor::new(4);
+        let mut tf = Taskflow::new("t");
+        let a = tf.emplace("ok", || {});
+        let b = tf.emplace("kaboom", || panic!("division by zero qubits"));
+        tf.precede(a, b);
+        let err = ex.try_run(&tf).unwrap_err();
+        assert_eq!(&*err.task, "kaboom");
+        assert!(err.message.contains("division by zero qubits"), "{err}");
+        assert!(err.to_string().contains("kaboom"));
+        // A clean graph afterwards reports Ok.
+        let mut tf2 = Taskflow::new("t2");
+        tf2.emplace("fine", || {});
+        assert!(ex.try_run(&tf2).is_ok());
+    }
+
+    #[test]
+    fn cyclic_subflow_does_not_deadlock() {
+        // A subflow whose children form a cycle has no root to schedule.
+        // This used to assert on the worker thread outside catch_unwind,
+        // killing the worker and hanging run() forever. It must now drain
+        // and surface as a task panic.
+        let ex = Executor::new(2);
+        let downstream = Arc::new(AtomicUsize::new(0));
+        let mut tf = Taskflow::new("t");
+        let s = tf.emplace_subflow("cyclic", |sf| {
+            let a = sf.task("a", || {});
+            let b = sf.task("b", || {});
+            sf.precede(a, b);
+            sf.precede(b, a);
+        });
+        let d = Arc::clone(&downstream);
+        let post = tf.emplace("post", move || {
+            d.fetch_add(1, O::SeqCst);
+        });
+        tf.precede(s, post);
+        let err = ex.try_run(&tf).unwrap_err();
+        assert_eq!(&*err.task, "cyclic");
+        assert!(err.message.contains("dependency cycle"), "{err}");
+        // The failure cancelled the downstream task but drained the graph.
+        assert_eq!(downstream.load(O::SeqCst), 0);
+        // Workers all survived.
+        let ok = AtomicUsize::new(0);
+        let mut tf2 = Taskflow::new("t2");
+        for i in 0..8 {
+            tf2.emplace(format!("t{i}"), || {
+                ok.fetch_add(1, O::SeqCst);
+            });
+        }
+        ex.run(&tf2);
+        assert_eq!(ok.load(O::SeqCst), 8);
+    }
+
+    #[test]
+    fn panicking_observer_is_contained() {
+        let ex = Executor::new(2);
+        ex.set_observer(Some(Arc::new(|ev: &ExecEvent| {
+            if let ExecEvent::Begin { .. } = ev {
+                panic!("observer bug");
+            }
+        })));
+        let count = AtomicUsize::new(0);
+        let mut tf = Taskflow::new("t");
+        for i in 0..10 {
+            tf.emplace(format!("t{i}"), || {
+                count.fetch_add(1, O::SeqCst);
+            });
+        }
+        // Must neither hang nor propagate the observer's panic.
+        assert!(ex.try_run(&tf).is_ok());
+        ex.set_observer(None);
+        assert_eq!(count.load(O::SeqCst), 10);
+    }
+
+    #[test]
+    fn child_task_panic_is_attributed() {
+        let ex = Executor::new(4);
+        let mut tf = Taskflow::new("t");
+        tf.emplace_subflow("fan", |sf| {
+            sf.task("good", || {});
+            sf.task("bad-child", || panic!("child died"));
+        });
+        let err = ex.try_run(&tf).unwrap_err();
+        assert_eq!(&*err.task, "bad-child");
+        assert!(err.message.contains("child died"));
     }
 
     #[test]

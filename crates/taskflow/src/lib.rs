@@ -38,7 +38,7 @@ pub mod executor;
 pub mod graph;
 pub mod observer;
 
-pub use executor::Executor;
+pub use executor::{Executor, TaskPanic};
 pub use graph::{SubTaskRef, Subflow, TaskRef, Taskflow};
 pub use observer::{ExecEvent, Observer};
 

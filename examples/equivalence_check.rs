@@ -26,14 +26,14 @@ fn append(ckt: &mut Ckt, gate: &Gate) {
 fn check_equivalence(u: &Circuit, v: &Circuit, label: &str) {
     assert_eq!(u.num_qubits(), v.num_qubits());
     let mut ckt = Ckt::from_circuit(u, SimConfig::with_block_size(64));
-    ckt.update_state();
+    ckt.update_state().unwrap();
     // Append V's gates adjointed, in reverse order, updating as we go —
     // each step is one transaction + one incremental update.
     let v_gates: Vec<Gate> = v.ordered_gates().map(|(_, g)| *g).collect();
     let mut partitions = 0usize;
     for gate in v_gates.iter().rev() {
         append(&mut ckt, &gate.adjoint());
-        partitions += ckt.update_state().partitions_executed;
+        partitions += ckt.update_state().unwrap().partitions_executed;
     }
     // The verdict reads from the published snapshot; a checker service
     // could hand this handle to another thread while it starts mutating

@@ -32,7 +32,7 @@ fn main() {
     // Simulate with qTask.
     let t0 = std::time::Instant::now();
     let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
-    let report = ckt.update_state();
+    let report = ckt.update_state().unwrap();
     println!(
         "qTask: {:?} ({} partitions, {} tasks)",
         t0.elapsed(),

@@ -38,8 +38,8 @@ fn main() {
     println!("=== partition task graph (DOT) ===");
     println!("{}", ckt.dump_graph_string());
 
-    // ckt.update_state(); — full simulation, publishing snapshot v1.
-    let report = ckt.update_state();
+    // ckt.update_state().unwrap(); — full simulation, publishing snapshot v1.
+    let report = ckt.update_state().unwrap();
     println!(
         "full update: {} partitions, {} tasks, {:?}",
         report.partitions_executed, report.tasks_executed, report.elapsed
@@ -56,8 +56,8 @@ fn main() {
     })
     .expect("the swap cannot conflict");
 
-    // ckt.update_state(); — incremental update, publishing snapshot v2.
-    let report = ckt.update_state();
+    // ckt.update_state().unwrap(); — incremental update, publishing snapshot v2.
+    let report = ckt.update_state().unwrap();
     println!(
         "incremental update: {} partitions, {} tasks, {:?} \
          ({} snapshot blocks re-resolved)",

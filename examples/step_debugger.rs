@@ -46,7 +46,7 @@ fn main() {
             Ok(())
         })
         .expect("replaying a valid circuit cannot conflict");
-        let report = ckt.update_state();
+        let report = ckt.update_state().unwrap();
         let snap = ckt.latest_snapshot().expect("update publishes");
         // Per-qubit marginal P(q = 1), read from this level's snapshot.
         let state = snap.state();

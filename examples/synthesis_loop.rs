@@ -68,7 +68,7 @@ fn main() {
         receipt.ops_applied, receipt.gates_inserted, receipt.nets_inserted
     );
 
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let mut best_snap = ckt.latest_snapshot().expect("update publishes");
     let mut best = best_snap.probability(TARGET);
     println!("initial P(target) = {best:.6}");
@@ -96,7 +96,7 @@ fn main() {
                 tx.insert_gate(GateKind::Ry(new_angle), net, &[q])
             })
             .expect("swapping a gate on its own qubit cannot conflict");
-        let report = ckt.update_state(); // incremental!
+        let report = ckt.update_state().unwrap(); // incremental!
         partitions_total += report.partitions_executed;
         let snap = ckt.latest_snapshot().expect("update publishes");
         let p = snap.probability(TARGET);
@@ -115,7 +115,7 @@ fn main() {
                 })
                 .expect("revert mirrors the proposal");
             gates[idx] = back;
-            ckt.update_state();
+            ckt.update_state().unwrap();
         }
         if (iter + 1) % 100 == 0 {
             println!(

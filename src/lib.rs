@@ -32,7 +32,7 @@
 //!         tx.insert_gate(GateKind::Cx, net2, &[q4, q3])
 //!     })
 //!     .unwrap();
-//! ckt.update_state(); // full simulation; publishes snapshot v1
+//! ckt.update_state().unwrap(); // full simulation; publishes snapshot v1
 //!
 //! // Readers hold version 1 — on this thread or any other.
 //! let v1 = ckt.latest_snapshot().unwrap();
@@ -52,7 +52,7 @@
 //!     tx.insert_gate(GateKind::Cx, net2, &[q3, q4])
 //! })
 //! .unwrap();
-//! ckt.update_state(); // incremental: only affected partitions re-run
+//! ckt.update_state().unwrap(); // incremental: only affected partitions re-run
 //!
 //! // Version 2 reflects the edit; version 1 is immutable forever.
 //! let v2 = ckt.latest_snapshot().unwrap();
@@ -92,10 +92,11 @@ pub mod prelude {
         Circuit, CircuitBuilder, CircuitError, CircuitStats, Gate, GateId, NetId,
     };
     pub use qtask_core::{
-        Ckt, EditReceipt, EditTxn, KernelPolicy, QueryReport, ResolvePolicy, RowOrderPolicy,
-        SimConfig, SnapshotPolicy, StateSnapshot, UpdateReport,
+        Ckt, EditReceipt, EditTxn, EngineError, InvariantViolation, KernelPolicy, NumericalPolicy,
+        QueryReport, RecoveryReport, ResolvePolicy, RowOrderPolicy, SimConfig, SnapshotPolicy,
+        StateSnapshot, UpdateReport,
     };
     pub use qtask_gates::{GateClass, GateKind};
     pub use qtask_num::{c64, Complex64};
-    pub use qtask_taskflow::{Executor, Taskflow};
+    pub use qtask_taskflow::{Executor, TaskPanic, Taskflow};
 }

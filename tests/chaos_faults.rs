@@ -1,0 +1,429 @@
+//! Chaos suite: one injected fault at every probe site the engine
+//! registers, in every flavor the site supports, verifying the failure
+//! contract end to end (requires `--features faults`):
+//!
+//! - a typed [`EngineError`] leaves the observable state exactly where
+//!   it was (the engine keeps working and still matches the oracle), or
+//! - the engine poisons itself, every public API reports
+//!   [`EngineError::Poisoned`], and [`Ckt::recover`] rebuilds a state
+//!   bit-identical to a from-scratch re-simulation of the surviving
+//!   circuit (and ≈ the gate-at-a-time naive oracle).
+//!
+//! No hangs, no torn reads: worker-task panics are contained by the
+//! executor, and snapshots published before the fault keep reading the
+//! old consistent version.
+
+#![cfg(feature = "faults")]
+
+use qtask::prelude::*;
+use qtask_faults::{self as faults, FaultKind, FaultPlan};
+use qtask_partition::kernels;
+use rand::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// The fault registry is process-global; chaos tests must not overlap.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const EPS: f64 = 1e-9;
+
+fn scenario_config() -> SimConfig {
+    let mut cfg = SimConfig::with_block_size(4);
+    cfg.num_threads = 2;
+    cfg
+}
+
+fn fresh_engine() -> Ckt {
+    Ckt::with_config(5, scenario_config())
+}
+
+/// Replays the engine's current circuit gate-at-a-time on a flat vector
+/// — the naive oracle every surviving state must match.
+fn oracle_state(ckt: &Ckt) -> Vec<Complex64> {
+    let n = ckt.num_qubits();
+    let mut state = qtask::num::vecops::ket_zero(n as usize);
+    for (_, gate) in ckt.circuit().ordered_gates() {
+        kernels::apply_gate(gate.kind(), gate.control_mask(), gate.targets(), &mut state);
+    }
+    state
+}
+
+fn assert_close(got: &[Complex64], want: &[Complex64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g.re - w.re).abs() < EPS && (g.im - w.im).abs() < EPS,
+            "{ctx}: amplitude {i}: got {g:?}, want {w:?}"
+        );
+    }
+}
+
+/// The deterministic chaos scenario: incremental builds, a transaction,
+/// removals, queries, and snapshots — it crosses every probe site the
+/// engine registers. Fallible end to end so injected errors surface.
+fn run_scenario(ckt: &mut Ckt) -> Result<(), EngineError> {
+    let a = ckt.push_net();
+    ckt.insert_gate(GateKind::H, a, &[0])?;
+    ckt.insert_gate(GateKind::Cx, a, &[1, 2])?;
+    ckt.update_state()?;
+
+    let b = ckt.insert_net_after(a)?;
+    ckt.insert_gate(GateKind::Ry(0.3), b, &[2])?;
+    ckt.insert_gate(GateKind::Cz, b, &[0, 1])?;
+    ckt.update_state()?;
+
+    let (victim, _receipt) = ckt.edit(|tx| {
+        let c = tx.push_net();
+        tx.insert_gate(GateKind::H, c, &[3])?;
+        let victim = tx.insert_gate(GateKind::X, c, &[4])?;
+        tx.insert_gate(GateKind::Swap, c, &[0, 1])?;
+        Ok(victim)
+    })?;
+    ckt.update_state()?;
+
+    ckt.remove_gate(victim)?;
+    ckt.update_state()?;
+    ckt.remove_net(b)?;
+    ckt.update_state()?;
+
+    let norm = ckt.try_norm_sqr()?;
+    assert!((norm - 1.0).abs() < EPS, "scenario norm² = {norm}");
+    ckt.try_amplitude(1)?;
+    ckt.try_state()?;
+    ckt.try_snapshot()?;
+    Ok(())
+}
+
+/// Every probe site the tentpole threads through the engine. The trace
+/// assertion below keeps this list honest: a renamed or dropped probe
+/// fails the suite instead of silently shrinking the injection space.
+const EXPECTED_SITES: &[&str] = &[
+    "engine/insert_gate",
+    "engine/remove_gate",
+    "engine/update_build",
+    "engine/update_publish",
+    "exec/alloc_block",
+    "exec/corrupt_row",
+    "exec/linear_task",
+    "exec/mxv_task",
+    "exec/publish_row",
+    "query/read",
+    "snapshot/publish",
+    "taskflow/task",
+    "txn/commit_op",
+    "txn/edit_begin",
+];
+
+fn traced_sites() -> Vec<(String, u64)> {
+    faults::site_hits(|| {
+        let mut ckt = fresh_engine();
+        run_scenario(&mut ckt).expect("untampered scenario");
+    })
+}
+
+/// Checks the full poisoned contract: every fallible public API returns
+/// [`EngineError::Poisoned`] until recovery.
+fn assert_fully_poisoned(ckt: &mut Ckt, ctx: &str) {
+    assert!(ckt.is_poisoned(), "{ctx}: engine should be poisoned");
+    assert!(ckt.poison_reason().is_some(), "{ctx}: missing reason");
+    assert!(
+        ckt.audit()
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::EnginePoisoned { .. })),
+        "{ctx}: audit must report the poisoning"
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let gate = ckt.circuit().ordered_gates().next().map(|(id, _)| id);
+    let net = ckt.circuit().nets().next().map(|(id, _)| id);
+    let poisoned = |r: Result<(), EngineError>, what: &str| match r {
+        Err(e) if e.is_poisoned() => {}
+        other => panic!("{ctx}: {what} should return Poisoned, got {other:?}"),
+    };
+    poisoned(ckt.try_amplitude(0).map(drop), "try_amplitude");
+    poisoned(ckt.try_probability(0).map(drop), "try_probability");
+    poisoned(ckt.try_state().map(drop), "try_state");
+    poisoned(ckt.try_probabilities().map(drop), "try_probabilities");
+    poisoned(ckt.try_norm_sqr().map(drop), "try_norm_sqr");
+    poisoned(ckt.try_sample(&mut rng).map(drop), "try_sample");
+    poisoned(ckt.try_snapshot().map(drop), "try_snapshot");
+    poisoned(ckt.update_state().map(drop), "update_state");
+    poisoned(ckt.edit(|_tx| Ok(())).map(drop), "edit");
+    if let Some(net) = net {
+        poisoned(
+            ckt.insert_gate(GateKind::H, net, &[0]).map(drop),
+            "insert_gate",
+        );
+        poisoned(ckt.insert_net_after(net).map(drop), "insert_net_after");
+        poisoned(ckt.remove_net(net), "remove_net");
+    }
+    if let Some(gate) = gate {
+        poisoned(ckt.remove_gate(gate).map(drop), "remove_gate");
+    }
+}
+
+/// Recovery must match a from-scratch re-simulation bit for bit (the
+/// engine's addition order is deterministic) and the naive oracle up to
+/// rounding, with a clean audit.
+fn assert_recovered_matches_oracles(ckt: &mut Ckt, ctx: &str) {
+    let report = ckt
+        .recover()
+        .unwrap_or_else(|e| panic!("{ctx}: recover failed: {e}"));
+    assert!(!ckt.is_poisoned(), "{ctx}: still poisoned after recover");
+    assert_eq!(ckt.audit(), vec![], "{ctx}: audit after recover");
+    assert_eq!(
+        report.rows,
+        ckt.num_rows(),
+        "{ctx}: recovery report row count"
+    );
+
+    let recovered = ckt.state();
+    let mut resim = Ckt::from_circuit(ckt.circuit(), scenario_config());
+    resim.update_state().unwrap();
+    assert_eq!(
+        recovered,
+        resim.state(),
+        "{ctx}: recovered state is not bit-identical to a fresh re-simulation"
+    );
+    assert_close(&recovered, &oracle_state(ckt), ctx);
+}
+
+/// After a contained typed error (or an escaped pre-mutation panic) the
+/// engine keeps working: the next update succeeds and matches the
+/// oracle for whatever circuit survived.
+fn assert_usable_and_consistent(ckt: &mut Ckt, ctx: &str) {
+    assert_eq!(ckt.audit(), vec![], "{ctx}: audit");
+    ckt.update_state()
+        .unwrap_or_else(|e| panic!("{ctx}: engine unusable after typed error: {e}"));
+    assert_close(&ckt.state(), &oracle_state(ckt), ctx);
+}
+
+/// The heart of the suite: for every reached probe site, every fault
+/// kind, at both the first and the last dynamic hit, the scenario must
+/// end in one of the contract's outcomes.
+#[test]
+fn every_probe_site_fails_safe() {
+    let _guard = chaos_guard();
+    let sites = traced_sites();
+    for expected in EXPECTED_SITES {
+        assert!(
+            sites.iter().any(|(name, _)| name == expected),
+            "probe site '{expected}' was never reached by the chaos scenario \
+             (trace: {sites:?})"
+        );
+    }
+
+    const KINDS: [FaultKind; 5] = [
+        FaultKind::Panic,
+        FaultKind::AllocFail,
+        FaultKind::Error,
+        FaultKind::CorruptNan,
+        FaultKind::CorruptInf,
+    ];
+    let mut injected = 0usize;
+    for (site, max_hits) in &sites {
+        let mut nths = vec![1u64];
+        if *max_hits > 1 {
+            nths.push(*max_hits);
+        }
+        for nth in nths {
+            for kind in KINDS {
+                let ctx = format!("{site}@{nth}/{kind:?}");
+                faults::arm(FaultPlan::at_hit(site, kind, nth));
+                let mut ckt = fresh_engine();
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_scenario(&mut ckt)));
+                let summary = faults::disarm();
+                assert!(
+                    summary.fired,
+                    "{ctx}: the armed hit was never reached (hits={})",
+                    summary.hits_of_site
+                );
+                injected += 1;
+                match outcome {
+                    Ok(Ok(())) => {
+                        // The kind does not apply to this site flavor
+                        // (e.g. CorruptNan at a panic-only probe): the
+                        // run must be indistinguishable from fault-free.
+                        assert!(!ckt.is_poisoned(), "{ctx}: poisoned on no-op fault");
+                        assert_eq!(ckt.audit(), vec![], "{ctx}: audit");
+                        assert_close(&ckt.state(), &oracle_state(&ckt), &ctx);
+                    }
+                    Ok(Err(err)) if ckt.is_poisoned() => {
+                        assert_fully_poisoned(&mut ckt, &ctx);
+                        assert_recovered_matches_oracles(&mut ckt, &ctx);
+                        let _ = err;
+                    }
+                    Ok(Err(err)) => {
+                        // Typed failure without poisoning: the engine
+                        // rejected the operation and stayed consistent.
+                        assert!(
+                            !matches!(err, EngineError::Poisoned { .. }),
+                            "{ctx}: Poisoned error from a healthy engine"
+                        );
+                        assert_usable_and_consistent(&mut ckt, &ctx);
+                    }
+                    Err(_payload) => {
+                        // A panic escaped to the caller: legal only for
+                        // probes placed before any engine mutation
+                        // (transaction begin, read path), so the engine
+                        // must still be healthy and consistent.
+                        assert!(
+                            !ckt.is_poisoned(),
+                            "{ctx}: escaped panic from a poisoning site"
+                        );
+                        assert_usable_and_consistent(&mut ckt, &ctx);
+                    }
+                }
+            }
+        }
+    }
+    assert!(injected >= EXPECTED_SITES.len() * KINDS.len());
+}
+
+/// Seeded sweep of the poisoned-state semantics: whatever unwind fault
+/// the seed picks, once poisoned *every* public API reports Poisoned,
+/// and recovery restores oracle-exact state.
+#[test]
+fn seeded_poisoning_recovers_to_oracle() {
+    let _guard = chaos_guard();
+    let sites = traced_sites();
+    let mut poisonings = 0usize;
+    for seed in 0..48u64 {
+        let plan = FaultPlan::seeded(seed, &sites).expect("non-empty trace");
+        let ctx = format!("seed {seed} -> {plan:?}");
+        faults::arm(plan);
+        let mut ckt = fresh_engine();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_scenario(&mut ckt)));
+        faults::disarm();
+        match outcome {
+            Ok(Ok(())) => unreachable!("{ctx}: unwind faults cannot succeed"),
+            Ok(Err(_)) if ckt.is_poisoned() => {
+                poisonings += 1;
+                assert_fully_poisoned(&mut ckt, &ctx);
+                assert_recovered_matches_oracles(&mut ckt, &ctx);
+            }
+            Ok(Err(_)) | Err(_) => assert_usable_and_consistent(&mut ckt, &ctx),
+        }
+    }
+    assert!(
+        poisonings >= 16,
+        "seeded sweep poisoned only {poisonings}/48 runs; the space is \
+         not being explored"
+    );
+}
+
+/// No torn reads: a snapshot published before the fault keeps serving
+/// the old, consistent version even while the engine is poisoned.
+#[test]
+fn published_snapshots_survive_poisoning() {
+    let _guard = chaos_guard();
+    let mut ckt = fresh_engine();
+    let a = ckt.push_net();
+    ckt.insert_gate(GateKind::H, a, &[0]).unwrap();
+    ckt.insert_gate(GateKind::Cx, a, &[1, 2]).unwrap();
+    ckt.update_state().unwrap();
+    let pre = ckt.latest_snapshot().expect("published snapshot");
+    let pre_state = pre.state();
+    let pre_version = pre.version();
+
+    faults::arm(FaultPlan::first("exec/publish_row", FaultKind::Panic));
+    let b = ckt.insert_net_after(a).unwrap();
+    ckt.insert_gate(GateKind::Ry(1.2), b, &[2]).unwrap();
+    let err = ckt.update_state().unwrap_err();
+    faults::disarm();
+    assert!(err.is_poisoned() || ckt.is_poisoned(), "got {err:?}");
+
+    // The old snapshot is immutable and still internally consistent.
+    assert_eq!(pre.version(), pre_version);
+    assert_eq!(pre.state(), pre_state);
+    assert!((pre.norm_sqr() - 1.0).abs() < EPS);
+
+    assert_fully_poisoned(&mut ckt, "publish_row panic");
+    assert_recovered_matches_oracles(&mut ckt, "publish_row panic");
+}
+
+/// Corrupted amplitudes (NaN / Inf smuggled into a published block) are
+/// caught at publish time under the strict policy and recovery scrubs
+/// them completely.
+#[test]
+fn corruption_is_detected_at_publish() {
+    let _guard = chaos_guard();
+    for kind in [FaultKind::CorruptNan, FaultKind::CorruptInf] {
+        let ctx = format!("{kind:?}");
+        faults::arm(FaultPlan::first("exec/corrupt_row", kind));
+        let mut ckt = fresh_engine();
+        let a = ckt.push_net();
+        ckt.insert_gate(GateKind::H, a, &[0]).unwrap();
+        let err = ckt.update_state().unwrap_err();
+        faults::disarm();
+        assert!(
+            matches!(err, EngineError::NonFinite { .. }),
+            "{ctx}: wanted NonFinite, got {err:?}"
+        );
+        assert_fully_poisoned(&mut ckt, &ctx);
+        assert_recovered_matches_oracles(&mut ckt, &ctx);
+        let norm = ckt.try_norm_sqr().unwrap();
+        assert!((norm - 1.0).abs() < EPS, "{ctx}: norm² {norm}");
+    }
+}
+
+/// The two numerical policies at the drift boundary: a tolerance every
+/// honest update exceeds makes Strict poison the engine at the first
+/// publish, while Renormalize absorbs the drift into a query-side scale
+/// and keeps every answer oracle-exact.
+#[test]
+fn numerical_policy_strict_vs_renormalize() {
+    let _guard = chaos_guard();
+
+    let mut strict_cfg = scenario_config();
+    strict_cfg.norm_tolerance = -1.0; // any drift (even 0) now "exceeds"
+    let mut strict = Ckt::with_config(3, strict_cfg);
+    let a = strict.push_net();
+    strict.insert_gate(GateKind::H, a, &[0]).unwrap();
+    let err = strict.update_state().unwrap_err();
+    assert!(
+        matches!(err, EngineError::NormDrift { .. }),
+        "strict: {err:?}"
+    );
+    assert!(strict.is_poisoned());
+
+    let mut renorm_cfg = scenario_config().with_numerics(NumericalPolicy::Renormalize);
+    renorm_cfg.norm_tolerance = -1.0;
+    let mut renorm = Ckt::with_config(3, renorm_cfg);
+    let a = renorm.push_net();
+    renorm.insert_gate(GateKind::H, a, &[0]).unwrap();
+    let b = renorm.insert_net_after(a).unwrap();
+    renorm.insert_gate(GateKind::Cx, b, &[0, 1]).unwrap();
+    let report = renorm.update_state().unwrap();
+    assert!(report.drift_events >= 1, "report: {report:?}");
+    assert!(!renorm.is_poisoned());
+    assert_close(&renorm.state(), &oracle_state(&renorm), "renormalize");
+    let norm = renorm.try_norm_sqr().unwrap();
+    assert!((norm - 1.0).abs() < EPS, "renormalized norm² {norm}");
+    let snap = renorm.try_snapshot().unwrap();
+    assert!((snap.norm_sqr() - 1.0).abs() < EPS);
+    // Under the impossible tolerance the audit keeps reporting drift —
+    // and nothing else: renormalization left every other invariant
+    // intact.
+    let audit = renorm.audit();
+    assert!(
+        audit
+            .iter()
+            .all(|v| matches!(v, InvariantViolation::NormDrift { .. })),
+        "audit: {audit:?}"
+    );
+}
+
+/// With the feature compiled in but nothing armed, probes are inert:
+/// the scenario behaves exactly like a default build.
+#[test]
+fn disarmed_probes_change_nothing() {
+    let _guard = chaos_guard();
+    let mut ckt = fresh_engine();
+    run_scenario(&mut ckt).unwrap();
+    assert_eq!(ckt.audit(), vec![]);
+    assert_close(&ckt.state(), &oracle_state(&ckt), "disarmed");
+}

@@ -21,7 +21,7 @@ fn qtask_state(circuit: &Circuit, block_size: usize) -> Vec<Complex64> {
         circuit,
         qtask::core::SimConfig::with_block_size(block_size),
     );
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.state()
 }
 
@@ -95,7 +95,7 @@ fn incremental_protocol_agrees_with_full_rebuild() {
                 .insert_gate(g.kind(), dst, g.qubits())
                 .unwrap();
         }
-        level_by_level.update_state();
+        level_by_level.update_state().unwrap();
     }
     let all_at_once = qtask_state(&circuit, 16);
     assert!(vecops::approx_eq(
@@ -111,11 +111,11 @@ fn removal_storm_converges_to_empty_circuit() {
     // updates: must end at |0...0>.
     let circuit = qtask::bench_circuits::build("qft", Some(7)).unwrap();
     let mut ckt = Ckt::from_circuit(&circuit, SimConfig::with_block_size(8));
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let nets: Vec<_> = ckt.circuit().net_ids().collect();
     for net in nets.into_iter().rev() {
         ckt.remove_net(net).unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
     }
     assert!(ckt.amplitude(0).is_one(1e-9));
     assert_eq!(ckt.num_rows(), 0);
@@ -134,7 +134,7 @@ fn thread_count_does_not_change_results() {
                 ..SimConfig::default()
             },
         );
-        ckt.update_state();
+        ckt.update_state().unwrap();
         ckt.state()
     };
     for threads in [2, 4, 8] {
@@ -146,7 +146,7 @@ fn thread_count_does_not_change_results() {
                 ..SimConfig::default()
             },
         );
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert!(
             vecops::approx_eq(&ckt.state(), &reference, 1e-9),
             "{threads} threads diverged"
@@ -174,7 +174,7 @@ fn sampling_follows_probabilities() {
     let mut ckt = Ckt::new(2);
     let net = ckt.push_net();
     ckt.insert_gate(GateKind::Ry(1.0), net, &[0]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let p1 = ckt.probability(1);
     let mut rng = StdRng::seed_from_u64(5);
     let shots = 20_000;

@@ -90,7 +90,7 @@ fn run_storm(resolve: ResolvePolicy, seed: u64) {
         }
     }
     assert!(ckt.num_rows() >= 300, "stress circuit too shallow");
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.validate_owner_index().unwrap();
     assert_agreement(&ckt, &mut oracle, "after deep build");
 
@@ -118,16 +118,16 @@ fn run_storm(resolve: ResolvePolicy, seed: u64) {
         ckt.validate_owner_index()
             .unwrap_or_else(|e| panic!("step {step}: {e}"));
         if step % 7 == 0 {
-            ckt.update_state();
+            ckt.update_state().unwrap();
             ckt.validate_owner_index()
                 .unwrap_or_else(|e| panic!("step {step} post-update: {e}"));
         }
         if step % 40 == 0 {
-            ckt.update_state();
+            ckt.update_state().unwrap();
             assert_agreement(&ckt, &mut oracle, &format!("storm step {step}"));
         }
     }
-    ckt.update_state();
+    ckt.update_state().unwrap();
     ckt.validate_graph().unwrap();
     ckt.validate_owner_index().unwrap();
     assert_agreement(&ckt, &mut oracle, "final state");

@@ -105,7 +105,7 @@ fn incremental_equals_full_rebuild() {
                     }
                 }
                 Step::Update => {
-                    ckt.update_state();
+                    ckt.update_state().unwrap();
                 }
             }
             ckt.validate_graph()
@@ -113,7 +113,7 @@ fn incremental_equals_full_rebuild() {
             ckt.validate_owner_index()
                 .unwrap_or_else(|e| panic!("case {case}: owner index: {e}"));
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
         // Oracle: from-scratch replay of the final circuit.
         let mut want = vecops::ket_zero(n as usize);
         for (_, g) in ckt.circuit().ordered_gates() {
@@ -199,7 +199,7 @@ fn random_circuits_preserve_norm() {
         let gates = rng.random_range(1..60usize);
         let circuit = qtask::bench_circuits::random::random_circuit(&mut rng, n, gates);
         let mut ckt = Ckt::from_circuit(&circuit, SimConfig::with_block_size(16));
-        ckt.update_state();
+        ckt.update_state().unwrap();
         assert!(
             (ckt.norm_sqr() - 1.0).abs() < 1e-8,
             "case {case}: norm {}",

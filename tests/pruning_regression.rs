@@ -53,15 +53,15 @@ fn removal_reconnect_counterexample() {
     let p2 = ckt.insert_gate(GateKind::P(0.7), n1, &[2]).unwrap();
     let p3 = ckt.insert_gate(GateKind::P(0.7), n1, &[3]).unwrap();
     ckt.insert_gate(GateKind::Rz(0.3), n2, &[1]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     check(&ckt, "initial");
     ckt.remove_gate(p2).unwrap();
     ckt.remove_gate(p3).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     check(&ckt, "after removing P level");
     ckt.remove_gate(cx).unwrap();
     ckt.remove_gate(rz2).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     check(&ckt, "after removing CX+RZ level");
 }
 
@@ -96,7 +96,7 @@ fn transitive_pruning_counterexample() {
                 .collect(),
         );
     }
-    ckt.update_state();
+    ckt.update_state().unwrap();
     check(&ckt, "initial");
     let mut present = vec![true; levels.len()];
     for (step, &lvl) in [1usize, 3, 3, 1, 2, 0].iter().enumerate() {
@@ -111,7 +111,7 @@ fn transitive_pruning_counterexample() {
                 .collect();
         }
         present[lvl] = !present[lvl];
-        ckt.update_state();
+        ckt.update_state().unwrap();
         check(&ckt, &format!("after toggle #{step} of level {lvl}"));
     }
 }
@@ -147,10 +147,10 @@ fn reachability_invariant_survives_storm() {
             ckt.validate_reachability()
                 .unwrap_or_else(|e| panic!("trial {trial} step {step}: {e}"));
             if rng.random_bool(0.4) {
-                ckt.update_state();
+                ckt.update_state().unwrap();
             }
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
         check(&ckt, &format!("storm trial {trial}"));
     }
 }

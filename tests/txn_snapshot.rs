@@ -70,7 +70,7 @@ fn failed_random_edit_batches_roll_back_bit_identically() {
                 live.push(gid);
             }
         }
-        ckt.update_state();
+        ckt.update_state().unwrap();
         let before = fingerprint(&ckt);
 
         // A random batch of valid staged ops, then one that must fail.
@@ -104,7 +104,10 @@ fn failed_random_edit_batches_roll_back_bit_identically() {
             })
             .unwrap_err();
         assert!(
-            matches!(err, CircuitError::QubitOutOfRange { .. }),
+            matches!(
+                err,
+                EngineError::Circuit(CircuitError::QubitOutOfRange { .. })
+            ),
             "trial {trial}: unexpected error {err:?}"
         );
         let after = fingerprint(&ckt);
@@ -170,7 +173,7 @@ fn committed_random_edit_batches_match_oracle() {
             };
             live.retain(|g| !removed.contains(g));
             live.extend(inserted);
-            ckt.update_state();
+            ckt.update_state().unwrap();
             ckt.validate_owner_index().unwrap();
         }
         let got = ckt.state();
@@ -204,7 +207,7 @@ fn snapshot_readers_survive_concurrent_republication() {
     let (cx, _) = ckt
         .edit(|tx| tx.insert_gate(GateKind::Cx, net2, &[0, 3]))
         .unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let snap_v1 = ckt.latest_snapshot().expect("publish policy is default");
     let oracle_v1 = oracle_state(&ckt);
 
@@ -239,7 +242,7 @@ fn snapshot_readers_survive_concurrent_republication() {
             tx.insert_gate(GateKind::X, net2, &[5])
         })
         .unwrap();
-        ckt.update_state();
+        ckt.update_state().unwrap();
 
         let snap_v2 = ckt.latest_snapshot().unwrap();
         assert!(snap_v2.version() > snap_v1.version());
@@ -275,21 +278,21 @@ fn snapshot_versions_track_published_changes() {
     assert!(ckt.latest_snapshot().is_none(), "nothing published yet");
     let net = ckt.push_net();
     ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let v1 = ckt.latest_snapshot().unwrap();
     // No-op update: nothing changed, no republication.
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let still_v1 = ckt.latest_snapshot().unwrap();
     assert_eq!(still_v1.version(), v1.version());
     // Removal-only change: the next update has an empty frontier but
     // must still publish a fresh version that sees through the removal.
     let tail = ckt.push_net();
     let x = ckt.insert_gate(GateKind::X, tail, &[1]).unwrap();
-    ckt.update_state();
+    ckt.update_state().unwrap();
     let v2 = ckt.latest_snapshot().unwrap();
     assert!(v2.version() > v1.version());
     ckt.remove_gate(x).unwrap();
-    let report = ckt.update_state();
+    let report = ckt.update_state().unwrap();
     assert_eq!(report.partitions_executed, 0, "removal needs no simulation");
     assert!(report.snapshot_blocks_resolved > 0, "but republishes");
     let v3 = ckt.latest_snapshot().unwrap();
@@ -322,7 +325,7 @@ fn disabled_policy_still_captures_on_demand() {
     let mut ckt = Ckt::with_config(4, cfg);
     let net = ckt.push_net();
     ckt.insert_gate(GateKind::H, net, &[2]).unwrap();
-    let report = ckt.update_state();
+    let report = ckt.update_state().unwrap();
     assert_eq!(report.snapshot_blocks_resolved, 0, "no auto-publication");
     assert!(ckt.latest_snapshot().is_none());
     let snap = ckt.snapshot();
