@@ -1007,6 +1007,14 @@ impl Ckt {
         self.latest.clone()
     }
 
+    /// The version of the last published snapshot (0 if none was ever
+    /// published). Monotonic across [`Ckt::recover`]: a rebuilt engine
+    /// resumes the sequence, so readers can order snapshots across a
+    /// poisoning/recovery cycle.
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot_seq
+    }
+
     /// A snapshot of the current resolved state — the same view the live
     /// queries answer from.
     ///

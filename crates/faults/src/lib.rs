@@ -56,13 +56,19 @@ pub enum FaultKind {
 }
 
 /// One scheduled fault: fire `kind` at the `nth` dynamic hit (1-based)
-/// of probe site `site`. A plan fires at most once; after firing it stays
-/// armed only for bookkeeping and never fires again until re-armed.
+/// of probe site `site`, and keep firing for `times` consecutive hits of
+/// that site (hits `nth .. nth + times`). The default `times` of 1 is the
+/// classic one-shot plan; larger values model *persistent* failures — a
+/// recovery path that keeps failing — which is what trips circuit
+/// breakers. After its last firing a plan stays armed only for
+/// bookkeeping and never fires again until re-armed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     pub site: String,
     pub kind: FaultKind,
     pub nth: u64,
+    /// Consecutive hits (starting at `nth`) that fire. 1 = one-shot.
+    pub times: u64,
 }
 
 impl FaultPlan {
@@ -72,6 +78,7 @@ impl FaultPlan {
             site: site.to_string(),
             kind,
             nth: 1,
+            times: 1,
         }
     }
 
@@ -82,6 +89,20 @@ impl FaultPlan {
             site: site.to_string(),
             kind,
             nth: nth.max(1),
+            times: 1,
+        }
+    }
+
+    /// A persistent-failure plan: fires at hits `nth .. nth + times` of
+    /// `site` (both arguments clamped to at least 1). `times` larger than
+    /// the hits actually reached simply stops firing when the scenario
+    /// ends — [`DisarmSummary::fires`] reports how many landed.
+    pub fn repeated(site: &str, kind: FaultKind, nth: u64, times: u64) -> FaultPlan {
+        FaultPlan {
+            site: site.to_string(),
+            kind,
+            nth: nth.max(1),
+            times: times.max(1),
         }
     }
 
@@ -107,6 +128,7 @@ impl FaultPlan {
             site: site.clone(),
             kind,
             nth,
+            times: 1,
         })
     }
 }
@@ -114,8 +136,10 @@ impl FaultPlan {
 /// What happened while a plan was armed, returned by [`disarm`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DisarmSummary {
-    /// True if the armed fault actually fired.
+    /// True if the armed fault fired at least once.
     pub fired: bool,
+    /// How many hits actually fired (≤ the plan's `times`).
+    pub fires: u64,
     /// Dynamic hits of the armed site while armed (counts even past the
     /// firing hit when the scenario survives the fault).
     pub hits_of_site: u64,
@@ -123,7 +147,7 @@ pub struct DisarmSummary {
 
 struct Registry {
     armed: Option<FaultPlan>,
-    fired: bool,
+    fires: u64,
     counts: HashMap<String, u64>,
     tracing: bool,
 }
@@ -135,7 +159,7 @@ fn registry() -> MutexGuard<'static, Registry> {
     REG.get_or_init(|| {
         Mutex::new(Registry {
             armed: None,
-            fired: false,
+            fires: 0,
             counts: HashMap::new(),
             tracing: false,
         })
@@ -152,7 +176,7 @@ fn registry() -> MutexGuard<'static, Registry> {
 pub fn arm(plan: FaultPlan) {
     let mut reg = registry();
     reg.counts.clear();
-    reg.fired = false;
+    reg.fires = 0;
     reg.armed = Some(plan);
     ACTIVE.store(true, Ordering::Release);
 }
@@ -161,7 +185,8 @@ pub fn arm(plan: FaultPlan) {
 pub fn disarm() -> DisarmSummary {
     let mut reg = registry();
     let summary = DisarmSummary {
-        fired: reg.fired,
+        fired: reg.fires > 0,
+        fires: reg.fires,
         hits_of_site: reg
             .armed
             .as_ref()
@@ -170,7 +195,7 @@ pub fn disarm() -> DisarmSummary {
             .unwrap_or(0),
     };
     reg.armed = None;
-    reg.fired = false;
+    reg.fires = 0;
     reg.tracing = false;
     reg.counts.clear();
     ACTIVE.store(false, Ordering::Release);
@@ -184,7 +209,7 @@ pub fn site_hits(f: impl FnOnce()) -> Vec<(String, u64)> {
     {
         let mut reg = registry();
         reg.armed = None;
-        reg.fired = false;
+        reg.fires = 0;
         reg.counts.clear();
         reg.tracing = true;
         ACTIVE.store(true, Ordering::Release);
@@ -216,9 +241,9 @@ pub fn record_hit(site: &str) -> Option<FaultKind> {
     *count += 1;
     let count = *count;
     match &reg.armed {
-        Some(plan) if !reg.fired && plan.site == site && plan.nth == count => {
+        Some(plan) if plan.site == site && count >= plan.nth && count < plan.nth + plan.times => {
             let kind = plan.kind;
-            reg.fired = true;
+            reg.fires += 1;
             Some(kind)
         }
         _ => None,
@@ -355,6 +380,20 @@ mod tests {
         let summary = disarm();
         assert!(summary.fired);
         assert_eq!(summary.hits_of_site, 4);
+    }
+
+    #[test]
+    fn repeated_plan_fires_for_a_window_of_hits() {
+        arm(FaultPlan::repeated("site/r", FaultKind::Error, 2, 3));
+        assert!(!hit_err("site/r")); // hit 1: before window
+        assert!(hit_err("site/r")); // hits 2..=4: fire
+        assert!(hit_err("site/r"));
+        assert!(hit_err("site/r"));
+        assert!(!hit_err("site/r")); // hit 5: window exhausted
+        let summary = disarm();
+        assert!(summary.fired);
+        assert_eq!(summary.fires, 3);
+        assert_eq!(summary.hits_of_site, 5);
     }
 
     #[test]

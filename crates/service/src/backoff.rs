@@ -1,0 +1,136 @@
+//! Deterministic seeded backoff with jitter.
+//!
+//! Retry storms are a coordination failure: if every shed client
+//! re-submits after the same delay, the mailbox that was full stays
+//! full. The classic fix is jitter — but *random* jitter makes retry
+//! behavior unreproducible, which is poison for a deterministic chaos
+//! suite. [`BackoffSchedule`] therefore derives its jitter from a seed
+//! with the same splitmix64 mixer `qtask-faults` uses: two schedules
+//! built from equal `(policy, seed, budget)` yield byte-identical delay
+//! sequences, while different seeds (e.g. different session ids)
+//! de-synchronize in the fleet.
+
+use crate::RetryPolicy;
+use std::time::Duration;
+
+/// Iterator over the retry delays of one request: attempt *i* nominally
+/// waits `min(base_delay · 2^i, max_delay)`, scaled by a seeded jitter
+/// factor in `[0.5, 1.0)`. The schedule ends at
+/// [`RetryPolicy::max_retries`] attempts or as soon as the *cumulative*
+/// delay would exceed `budget` (the request's deadline) — a retry the
+/// caller cannot wait out is never issued.
+#[derive(Clone, Debug)]
+pub struct BackoffSchedule {
+    base: Duration,
+    max: Duration,
+    max_retries: u32,
+    budget: Duration,
+    slept: Duration,
+    attempt: u32,
+    state: u64,
+}
+
+impl BackoffSchedule {
+    /// Builds the schedule for one request. `seed` should vary per
+    /// logical actor (session id, request id) so concurrent retriers
+    /// spread out; equal seeds reproduce equal schedules.
+    pub fn new(policy: &RetryPolicy, seed: u64, budget: Duration) -> BackoffSchedule {
+        BackoffSchedule {
+            base: policy.base_delay,
+            max: policy.max_delay,
+            max_retries: policy.max_retries,
+            budget,
+            slept: Duration::ZERO,
+            attempt: 0,
+            state: splitmix64(seed ^ 0x71c7_f0aa_0b53_9d2e),
+        }
+    }
+
+    /// Attempts already yielded.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+impl Iterator for BackoffSchedule {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_retries {
+            return None;
+        }
+        let factor = 1u32.checked_shl(self.attempt).unwrap_or(u32::MAX);
+        let nominal = self.base.saturating_mul(factor).min(self.max);
+        self.state = splitmix64(self.state);
+        // 53 high bits → uniform fraction in [0, 1); jitter in [0.5, 1.0).
+        let frac = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        let delay = nominal.mul_f64(0.5 + 0.5 * frac);
+        if self.slept + delay > self.budget {
+            self.attempt = self.max_retries; // deadline-bounded: give up
+            return None;
+        }
+        self.slept += delay;
+        self.attempt += 1;
+        Some(delay)
+    }
+}
+
+/// The same finalizer `qtask-faults` seeds plans with (kept local: the
+/// faults crate does not export it, and four lines beat a dependency
+/// edge for a hash function).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 6,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn schedule_is_reproducible_from_seed() {
+        let budget = Duration::from_millis(200);
+        let a: Vec<_> = BackoffSchedule::new(&policy(), 42, budget).collect();
+        let b: Vec<_> = BackoffSchedule::new(&policy(), 42, budget).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c: Vec<_> = BackoffSchedule::new(&policy(), 43, budget).collect();
+        assert_ne!(a, c, "different seeds must de-synchronize");
+    }
+
+    #[test]
+    fn delays_respect_nominal_envelope_and_budget() {
+        for seed in 0..64u64 {
+            let budget = Duration::from_millis(25);
+            let delays: Vec<_> = BackoffSchedule::new(&policy(), seed, budget).collect();
+            assert!(delays.len() <= 6);
+            let mut total = Duration::ZERO;
+            for (i, d) in delays.iter().enumerate() {
+                let nominal = Duration::from_millis(2)
+                    .saturating_mul(1 << i)
+                    .min(Duration::from_millis(10));
+                assert!(*d <= nominal, "attempt {i}: {d:?} > {nominal:?}");
+                assert!(*d >= nominal.mul_f64(0.5), "attempt {i}: {d:?} under half");
+                total += *d;
+            }
+            assert!(total <= budget, "seed {seed}: slept {total:?} > {budget:?}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_yields_no_retries() {
+        let mut s = BackoffSchedule::new(&policy(), 1, Duration::ZERO);
+        assert_eq!(s.next(), None);
+        assert_eq!(s.attempts(), 6); // gave up: budget exhausted
+    }
+}

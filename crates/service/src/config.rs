@@ -1,0 +1,147 @@
+//! Service tunables: admission limits, deadlines, retry, breaker.
+
+use std::time::Duration;
+
+/// Retry schedule for retryable failures (see
+/// [`crate::BackoffSchedule`]): exponential backoff from
+/// [`RetryPolicy::base_delay`] capped at [`RetryPolicy::max_delay`],
+/// with deterministic seeded jitter, for at most
+/// [`RetryPolicy::max_retries`] attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts before giving up.
+    pub max_retries: u32,
+    /// Nominal delay before the first retry; doubles each attempt.
+    pub base_delay: Duration,
+    /// Cap on any single (pre-jitter) delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Tunables of a [`crate::SessionManager`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Maximum live (not yet closed) sessions; further
+    /// [`crate::SessionManager::open`] calls are
+    /// [`crate::ServiceError::Rejected`]. A failed session keeps its
+    /// slot until closed — dead tenants must be reaped explicitly, not
+    /// silently replaced.
+    pub max_sessions: usize,
+    /// Bounded mailbox depth per session. A full mailbox sheds new
+    /// edits with [`crate::ServiceError::Overloaded`] (after the retry
+    /// schedule) instead of queueing unboundedly.
+    pub mailbox_capacity: usize,
+    /// Per-session cap on concurrently submitted requests; beyond it,
+    /// submissions are [`crate::ServiceError::Rejected`] immediately.
+    pub inflight_quota: usize,
+    /// Deadline for requests submitted without an explicit one.
+    pub default_deadline: Duration,
+    /// Backoff schedule for mailbox-full retries and between recovery
+    /// attempts.
+    pub retry: RetryPolicy,
+    /// Circuit breaker: this many consecutive failed recoveries within
+    /// [`ServiceConfig::breaker_window`] trips the session to the
+    /// terminal `Failed` state.
+    pub breaker_threshold: u32,
+    /// Time window for counting consecutive recovery failures; failures
+    /// further apart than this reset the count.
+    pub breaker_window: Duration,
+    /// Worker threads of the shared simulation executor (all sessions'
+    /// engines multiplex over this one pool).
+    pub num_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_sessions: 64,
+            mailbox_capacity: 32,
+            inflight_quota: 16,
+            default_deadline: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_window: Duration::from_secs(10),
+            num_threads: qtask_taskflow::default_threads(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// This config with the given session limit.
+    pub fn with_max_sessions(mut self, max_sessions: usize) -> ServiceConfig {
+        self.max_sessions = max_sessions;
+        self
+    }
+
+    /// This config with the given per-session mailbox depth (at least 1).
+    pub fn with_mailbox_capacity(mut self, mailbox_capacity: usize) -> ServiceConfig {
+        self.mailbox_capacity = mailbox_capacity.max(1);
+        self
+    }
+
+    /// This config with the given per-session in-flight quota (at least 1).
+    pub fn with_inflight_quota(mut self, inflight_quota: usize) -> ServiceConfig {
+        self.inflight_quota = inflight_quota.max(1);
+        self
+    }
+
+    /// This config with the given default request deadline.
+    pub fn with_default_deadline(mut self, default_deadline: Duration) -> ServiceConfig {
+        self.default_deadline = default_deadline;
+        self
+    }
+
+    /// This config with the given retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ServiceConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// This config with the given breaker threshold (at least 1).
+    pub fn with_breaker(mut self, threshold: u32, window: Duration) -> ServiceConfig {
+        self.breaker_threshold = threshold.max(1);
+        self.breaker_window = window;
+        self
+    }
+
+    /// This config with the given executor thread count (at least 1).
+    pub fn with_threads(mut self, num_threads: usize) -> ServiceConfig {
+        self.num_threads = num_threads.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let c = ServiceConfig::default();
+        assert!(c.max_sessions >= 1);
+        assert!(c.mailbox_capacity >= 1);
+        assert!(c.breaker_threshold >= 1);
+        let c = c
+            .with_max_sessions(2)
+            .with_mailbox_capacity(0)
+            .with_inflight_quota(0)
+            .with_default_deadline(Duration::from_millis(50))
+            .with_breaker(0, Duration::from_secs(1))
+            .with_threads(0);
+        assert_eq!(c.max_sessions, 2);
+        assert_eq!(c.mailbox_capacity, 1); // clamped
+        assert_eq!(c.inflight_quota, 1); // clamped
+        assert_eq!(c.breaker_threshold, 1); // clamped
+        assert_eq!(c.num_threads, 1); // clamped
+        assert_eq!(c.default_deadline, Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,180 @@
+//! Typed service errors.
+//!
+//! Every way a request can fail has a variant, so callers can tell
+//! *shed* work (admission control, backpressure, deadlines — the
+//! request never touched the session's circuit) from *session health*
+//! failures (a quarantined, failed, or closed writer). Retryability is
+//! a property of the variant: [`ServiceError::is_retryable`] is what a
+//! client loop should consult before re-submitting with backoff.
+
+use crate::SessionId;
+use qtask_core::EngineError;
+use std::time::Duration;
+
+/// Error type of the service API surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control refused the work before queueing it: the
+    /// session limit or the per-session in-flight quota is exhausted
+    /// (or the target session does not exist). Nothing was enqueued.
+    Rejected {
+        /// Which limit refused the work.
+        reason: String,
+    },
+    /// The session's bounded mailbox stayed full through every retry of
+    /// the backoff schedule — the writer is lagging. The edit was shed;
+    /// snapshot reads keep serving the last published version.
+    Overloaded {
+        /// The lagging session.
+        session: SessionId,
+        /// Its mailbox capacity (every slot was occupied).
+        mailbox: usize,
+    },
+    /// The per-request deadline elapsed before the writer replied. The
+    /// request may still complete afterwards — the deadline bounds the
+    /// caller's wait, not the writer's work.
+    Timeout {
+        /// The slow session.
+        session: SessionId,
+        /// How long the caller actually waited.
+        waited: Duration,
+    },
+    /// The session's writer panicked or its engine poisoned itself while
+    /// (or before) handling this request. The watchdog quarantines the
+    /// session and runs recovery; reads keep serving the last published
+    /// snapshot, and the request is retryable once the session heals.
+    SessionPoisoned {
+        /// The quarantined session.
+        session: SessionId,
+        /// The poison/panic reason.
+        reason: String,
+    },
+    /// The circuit breaker tripped: repeated recovery failures put the
+    /// session in the terminal `Failed` state. Only
+    /// [`crate::SessionManager::close`] (for the autopsy
+    /// [`crate::SessionReport`]) is useful now.
+    SessionFailed {
+        /// The dead session.
+        session: SessionId,
+    },
+    /// The session was closed; its writer has exited.
+    SessionClosed {
+        /// The closed session.
+        session: SessionId,
+    },
+    /// The engine rejected the transaction (validation failure, numeric
+    /// policy, …) without poisoning itself — the session keeps serving
+    /// and the circuit is exactly as before the request.
+    Engine(EngineError),
+    /// An error injected by an armed `qtask_faults` plan (test builds
+    /// with the `faults` feature only). Observable state is unchanged.
+    Injected {
+        /// The probe site that fired.
+        site: String,
+    },
+}
+
+impl ServiceError {
+    /// An [`ServiceError::Injected`] for probe site `site`.
+    pub fn injected(site: &str) -> ServiceError {
+        ServiceError::Injected {
+            site: site.to_string(),
+        }
+    }
+
+    /// True when re-submitting the same request (after backoff) can
+    /// succeed: the failure was load or a recoverable writer death, not
+    /// a property of the request or a terminal session state.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Overloaded { .. }
+                | ServiceError::Timeout { .. }
+                | ServiceError::SessionPoisoned { .. }
+        )
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> ServiceError {
+        ServiceError::Engine(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected { reason } => write!(f, "admission rejected: {reason}"),
+            ServiceError::Overloaded { session, mailbox } => write!(
+                f,
+                "session {session} overloaded: mailbox of {mailbox} stayed full through backoff"
+            ),
+            ServiceError::Timeout { session, waited } => write!(
+                f,
+                "session {session} missed the deadline (waited {waited:?})"
+            ),
+            ServiceError::SessionPoisoned { session, reason } => write!(
+                f,
+                "session {session} quarantined: {reason} (recovery in progress; retry later)"
+            ),
+            ServiceError::SessionFailed { session } => write!(
+                f,
+                "session {session} failed terminally (circuit breaker tripped)"
+            ),
+            ServiceError::SessionClosed { session } => write!(f, "session {session} is closed"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::Injected { site } => {
+                write!(f, "injected error at fault point '{site}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_retryability_and_source() {
+        let sid = SessionId(7);
+        let e = ServiceError::Overloaded {
+            session: sid,
+            mailbox: 4,
+        };
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("mailbox"));
+        let e = ServiceError::Timeout {
+            session: sid,
+            waited: Duration::from_millis(10),
+        };
+        assert!(e.is_retryable());
+        let e = ServiceError::SessionPoisoned {
+            session: sid,
+            reason: "task panicked".into(),
+        };
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("quarantined"));
+        for e in [
+            ServiceError::Rejected {
+                reason: "quota".into(),
+            },
+            ServiceError::SessionFailed { session: sid },
+            ServiceError::SessionClosed { session: sid },
+            ServiceError::injected("service/enqueue"),
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+        }
+        let e: ServiceError = EngineError::injected("x").into();
+        assert!(!e.is_retryable());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

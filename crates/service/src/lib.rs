@@ -1,0 +1,297 @@
+//! Supervised multi-session simulation service.
+//!
+//! The MVCC reader/writer split (`qtask-core`) lets any number of
+//! threads read version *v* while one writer builds *v+1* — but edits
+//! still serialize on `&mut Ckt`. This crate is the service layer that
+//! split was designed for: a [`SessionManager`] multiplexes many
+//! circuits (*sessions*) over one worker pool; each session is owned by
+//! a supervised writer task that receives transactions over a bounded
+//! mailbox and publishes versioned snapshots.
+//!
+//! Robustness is the point, threaded through every layer:
+//!
+//! - **Admission control** — [`ServiceConfig::max_sessions`] bounds the
+//!   tenant count, [`ServiceConfig::inflight_quota`] bounds each
+//!   tenant's concurrency; violations are typed
+//!   [`ServiceError::Rejected`], never unbounded queueing.
+//! - **Deadlines & retry** — every request is bounded end to end; the
+//!   mailbox-full path retries on a deterministic seeded
+//!   [`BackoffSchedule`] (reproducible from its seed, bounded by the
+//!   deadline) and then sheds with [`ServiceError::Overloaded`];
+//!   non-retryable failures surface immediately.
+//! - **Backpressure, graceful degradation** — mailboxes are bounded;
+//!   when a writer lags or is quarantined, new edits shed while
+//!   [`SessionHandle::snapshot`] keeps serving the last published
+//!   version: reads degrade to *stale*, never to torn or blocked.
+//! - **Supervision** — each writer runs under a watchdog: a panic or a
+//!   poisoned engine quarantines the session and runs
+//!   [`qtask_core::Ckt::recover`] under a circuit breaker
+//!   ([`ServiceConfig::breaker_threshold`] consecutive failures within
+//!   [`ServiceConfig::breaker_window`] trip the terminal `Failed` state
+//!   with a [`SessionReport`] autopsy). Sibling sessions share nothing
+//!   that failure can reach, so they are never disturbed.
+//!
+//! Session lifecycle (see `DESIGN.md` §"Service & supervision"):
+//! `Admitted → Active → (Quarantined → Recovered | Failed)* → Closed`.
+//!
+//! With the `faults` feature, the service path carries three probe
+//! sites — `service/enqueue`, `service/writer`, `service/recover` — so
+//! the chaos suite (`tests/chaos_service.rs`) can kill writers
+//! mid-transaction and assert the service heals.
+
+mod backoff;
+mod config;
+mod error;
+mod manager;
+mod session;
+
+pub use backoff::BackoffSchedule;
+pub use config::{RetryPolicy, ServiceConfig};
+pub use error::ServiceError;
+pub use manager::SessionManager;
+pub use session::{EditOutcome, SessionHandle, SessionId, SessionReport, SessionState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtask_core::SimConfig;
+    use qtask_gates::GateKind;
+    use std::time::Duration;
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig::default()
+            .with_threads(2)
+            .with_default_deadline(Duration::from_secs(10))
+    }
+
+    #[test]
+    fn open_edit_read_close_roundtrip() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(3, SimConfig::default()).unwrap();
+        assert_eq!(h.state(), SessionState::Active);
+        let baseline = h.snapshot().expect("baseline snapshot");
+        assert_eq!(baseline.amplitude(0).re, 1.0);
+        let out = h
+            .edit(|tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::X, net, &[0])?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(out.receipt.gates_inserted, 1);
+        assert!(out.version > baseline.version());
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.version(), out.version);
+        assert_eq!(snap.amplitude(1).re, 1.0); // |001⟩
+        let report = mgr.close(h.id()).unwrap();
+        assert_eq!(report.state, SessionState::Closed);
+        assert_eq!(report.edits_ok, 1);
+        // The handle outlives the close with typed errors, and the
+        // degraded-read surface still serves the last version.
+        assert!(matches!(
+            h.edit(|_| Ok(())),
+            Err(ServiceError::SessionClosed { .. })
+        ));
+        assert_eq!(h.snapshot().unwrap().version(), out.version);
+    }
+
+    #[test]
+    fn session_limit_rejects_then_frees_on_close() {
+        let mgr = SessionManager::new(small_cfg().with_max_sessions(2));
+        let a = mgr.open(2, SimConfig::default()).unwrap();
+        let _b = mgr.open(2, SimConfig::default()).unwrap();
+        assert_eq!(mgr.live_sessions(), 2);
+        let err = mgr.open(2, SimConfig::default()).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }), "{err}");
+        mgr.close(a.id()).unwrap();
+        assert!(mgr.open(2, SimConfig::default()).is_ok());
+        mgr.shutdown();
+        assert_eq!(mgr.live_sessions(), 0);
+    }
+
+    #[test]
+    fn invalid_transaction_is_typed_and_state_unchanged() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(2, SimConfig::default()).unwrap();
+        let v0 = h.version();
+        let err = h
+            .edit(|tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::X, net, &[0])?;
+                tx.insert_gate(GateKind::H, net, &[9])?; // out of range
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Engine(_)), "{err}");
+        assert_eq!(h.version(), v0);
+        assert_eq!(h.sync().unwrap(), v0);
+        let (circuit, _) = h.circuit().unwrap();
+        assert_eq!(circuit.num_gates(), 0); // transaction fully rolled back
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn panicked_writer_is_quarantined_and_recovers() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(3, SimConfig::default()).unwrap();
+        h.edit(|tx| {
+            let net = tx.push_net();
+            tx.insert_gate(GateKind::H, net, &[1])?;
+            Ok(())
+        })
+        .unwrap();
+        let v = h.version();
+        let before = h.snapshot().unwrap();
+        // A panicking client closure kills the writer mid-request.
+        let err = h
+            .edit(|_| panic!("client bug in edit closure"))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::SessionPoisoned { .. }), "{err}");
+        let state = h.wait_for(
+            |s| matches!(s, SessionState::Recovered | SessionState::Failed),
+            Duration::from_secs(30),
+        );
+        assert_eq!(state, SessionState::Recovered);
+        // The circuit survived (panic hit staging, not the engine) and
+        // the session serves again; versions stay monotonic.
+        let out = h
+            .edit(|tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::X, net, &[0])?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.version > v);
+        let after = h.snapshot().unwrap();
+        assert!(after.version() > before.version());
+        let report = mgr.close(h.id()).unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert!(!report.breaker_tripped);
+        assert!(report.last_error.unwrap().contains("client bug"));
+    }
+
+    #[test]
+    fn breaker_trips_to_failed_without_disturbing_sibling() {
+        let mgr = SessionManager::new(small_cfg().with_breaker(2, Duration::from_secs(10)));
+        let sibling = mgr.open(2, SimConfig::default()).unwrap();
+        sibling
+            .edit(|tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::X, net, &[1])?;
+                Ok(())
+            })
+            .unwrap();
+        let sib_snap = sibling.snapshot().unwrap();
+        // An impossible norm tolerance makes every publish — including
+        // every recovery's — fail: deterministic breaker trip, no fault
+        // injection needed.
+        let broken = SimConfig {
+            norm_tolerance: -1.0,
+            ..SimConfig::default()
+        };
+        let h = mgr.open(2, broken).unwrap();
+        let state = h.wait_for(|s| s == SessionState::Failed, Duration::from_secs(30));
+        assert_eq!(state, SessionState::Failed);
+        let report = h.report();
+        assert!(report.breaker_tripped);
+        assert_eq!(report.recovery_failures, 2);
+        assert!(report.last_error.is_some());
+        // Requests now get the terminal typed error.
+        assert!(matches!(
+            h.edit(|_| Ok(())),
+            Err(ServiceError::SessionFailed { .. })
+        ));
+        // The sibling never noticed.
+        assert_eq!(sibling.state(), SessionState::Active);
+        let now = sibling.snapshot().unwrap();
+        assert_eq!(now.version(), sib_snap.version());
+        assert!(sibling.edit(|_| Ok(())).is_ok());
+        let autopsy = mgr.close(h.id()).unwrap();
+        assert_eq!(autopsy.state, SessionState::Failed);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn quota_and_overload_shed_typed() {
+        let mgr = SessionManager::new(
+            small_cfg()
+                .with_mailbox_capacity(1)
+                .with_inflight_quota(1)
+                .with_retry(RetryPolicy {
+                    max_retries: 2,
+                    base_delay: Duration::from_millis(1),
+                    max_delay: Duration::from_millis(2),
+                }),
+        );
+        let h = mgr.open(2, SimConfig::default()).unwrap();
+        let slow = h.clone();
+        let worker = std::thread::spawn(move || {
+            slow.edit(|_| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(())
+            })
+        });
+        std::thread::sleep(Duration::from_millis(100)); // writer is now busy
+                                                        // Quota of 1 is held by the slow edit → immediate rejection.
+        let err = h.edit(|_| Ok(())).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }), "{err}");
+        // Reads keep serving while the writer lags.
+        assert!(h.snapshot().is_some());
+        assert!(worker.join().unwrap().is_ok());
+        let report = h.report();
+        assert_eq!(report.shed, 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn deadline_times_out_but_work_completes_late() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(2, SimConfig::default()).unwrap();
+        let err = h
+            .edit_with_deadline(
+                |tx| {
+                    std::thread::sleep(Duration::from_millis(300));
+                    let net = tx.push_net();
+                    tx.insert_gate(GateKind::X, net, &[0])?;
+                    Ok(())
+                },
+                Duration::from_millis(30),
+                7,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout { .. }), "{err}");
+        // The writer still finished the edit after the caller gave up.
+        let v = h.sync().unwrap();
+        assert!(v >= 2);
+        assert_eq!(h.snapshot().unwrap().amplitude(1).re, 1.0);
+        assert_eq!(h.report().timeouts, 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn sessions_share_one_executor_pool() {
+        let mgr = SessionManager::new(small_cfg());
+        let before = mgr.executor().tasks_run();
+        let handles: Vec<_> = (0..4)
+            .map(|_| mgr.open(4, SimConfig::default()).unwrap())
+            .collect();
+        for h in &handles {
+            h.edit(|tx| {
+                let net = tx.push_net();
+                for q in 0..4 {
+                    tx.insert_gate(GateKind::H, net, &[q])?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert!(
+            mgr.executor().tasks_run() > before,
+            "session work must run on the shared pool"
+        );
+        for r in mgr.shutdown() {
+            assert_eq!(r.state, SessionState::Closed);
+            assert_eq!(r.edits_ok, 1);
+        }
+    }
+}

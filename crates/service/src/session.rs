@@ -1,0 +1,659 @@
+//! One supervised session: a writer task owning a [`Ckt`], its bounded
+//! mailbox, and the watchdog that heals it.
+//!
+//! The writer runs on a dedicated supervisor thread inside
+//! `catch_unwind`. A poisoned engine or a panicked request quarantines
+//! the session; the supervisor then runs [`Ckt::recover`] under a
+//! circuit breaker (consecutive failures within a window trip the
+//! session to terminal `Failed`). Throughout quarantine and recovery,
+//! [`SessionHandle::snapshot`] keeps serving the last *published*
+//! [`StateSnapshot`] — reads degrade to staleness, never to torn data
+//! or a wedge.
+
+use crate::backoff::BackoffSchedule;
+use crate::{ServiceConfig, ServiceError};
+use qtask_circuit::{Circuit, CircuitError};
+use qtask_core::{Ckt, EditReceipt, EditTxn, StateSnapshot};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+/// Opaque session identifier, unique within one [`crate::SessionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a session:
+/// `Admitted → Active → (Quarantined → Recovered | Failed)* → Closed`.
+/// `Recovered` serves exactly like `Active` (it is kept distinct so the
+/// autopsy shows the session healed at least once); `Failed` and
+/// `Closed` are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admission succeeded; the writer has not published its baseline
+    /// snapshot yet.
+    Admitted,
+    /// Serving, never quarantined.
+    Active,
+    /// The writer panicked or its engine poisoned itself; the watchdog
+    /// is running recovery. Edits queue (or shed); reads serve the last
+    /// published snapshot.
+    Quarantined,
+    /// Serving again after at least one successful recovery.
+    Recovered,
+    /// Terminal: the circuit breaker tripped (too many failed
+    /// recoveries). Reads still serve the last published snapshot.
+    Failed,
+    /// Terminal: closed by the client (or every handle was dropped).
+    Closed,
+}
+
+impl SessionState {
+    /// True for states in which the writer accepts new requests.
+    pub fn is_serving(self) -> bool {
+        matches!(
+            self,
+            SessionState::Admitted
+                | SessionState::Active
+                | SessionState::Quarantined
+                | SessionState::Recovered
+        )
+    }
+}
+
+/// What a committed service edit produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditOutcome {
+    /// The transaction's [`EditReceipt`].
+    pub receipt: EditReceipt,
+    /// Snapshot version published after the edit (readers at this
+    /// version or later see the edit).
+    pub version: u64,
+}
+
+/// Autopsy of a session, available at any time via
+/// [`SessionHandle::report`] and returned by
+/// [`crate::SessionManager::close`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// The session.
+    pub session: SessionId,
+    /// Lifecycle state at report time.
+    pub state: SessionState,
+    /// Edits committed and published.
+    pub edits_ok: u64,
+    /// Edits that reached the writer and failed (typed error; circuit
+    /// unchanged).
+    pub edits_failed: u64,
+    /// Requests shed before reaching the writer (quota, overload).
+    pub shed: u64,
+    /// Requests whose caller gave up waiting (the writer may have
+    /// completed them late).
+    pub timeouts: u64,
+    /// Successful recoveries.
+    pub recoveries: u64,
+    /// Failed recovery attempts.
+    pub recovery_failures: u64,
+    /// True once the circuit breaker tripped (state is then `Failed`).
+    pub breaker_tripped: bool,
+    /// Most recent poison/panic/recovery-failure reason.
+    pub last_error: Option<String>,
+    /// Version of the last published snapshot.
+    pub last_version: u64,
+}
+
+/// std mutexes poison on panic; all service state behind them is plain
+/// data (counters, enums, snapshots), so clearing poisoning is sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    edits_ok: AtomicU64,
+    edits_failed: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    recoveries: AtomicU64,
+    recovery_failures: AtomicU64,
+    breaker_tripped: AtomicBool,
+}
+
+/// State shared between the supervisor thread and every handle clone.
+pub(crate) struct Shared {
+    id: SessionId,
+    state: Mutex<SessionState>,
+    state_cv: Condvar,
+    /// The last published snapshot — the degraded-read surface. Written
+    /// only by the supervisor thread; read by any number of clients.
+    latest: RwLock<Option<StateSnapshot>>,
+    inflight: AtomicUsize,
+    stats: Stats,
+    last_error: Mutex<Option<String>>,
+}
+
+impl Shared {
+    pub(crate) fn new(id: SessionId) -> Shared {
+        Shared {
+            id,
+            state: Mutex::new(SessionState::Admitted),
+            state_cv: Condvar::new(),
+            latest: RwLock::new(None),
+            inflight: AtomicUsize::new(0),
+            stats: Stats::default(),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    fn state(&self) -> SessionState {
+        *lock(&self.state)
+    }
+
+    fn set_state(&self, s: SessionState) {
+        *lock(&self.state) = s;
+        self.state_cv.notify_all();
+    }
+
+    fn wait_state(&self, pred: impl Fn(SessionState) -> bool, timeout: Duration) -> SessionState {
+        let guard = lock(&self.state);
+        let (guard, _timed_out) = self
+            .state_cv
+            .wait_timeout_while(guard, timeout, |s| !pred(*s))
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
+
+    fn publish(&self, snap: StateSnapshot) {
+        *self.latest.write().unwrap_or_else(|e| e.into_inner()) = Some(snap);
+    }
+
+    fn snapshot(&self) -> Option<StateSnapshot> {
+        self.latest
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn version(&self) -> u64 {
+        self.snapshot().map(|s| s.version()).unwrap_or(0)
+    }
+
+    fn note_error(&self, reason: String) {
+        *lock(&self.last_error) = Some(reason);
+    }
+
+    fn report(&self) -> SessionReport {
+        SessionReport {
+            session: self.id,
+            state: self.state(),
+            edits_ok: self.stats.edits_ok.load(Ordering::Relaxed),
+            edits_failed: self.stats.edits_failed.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            recoveries: self.stats.recoveries.load(Ordering::Relaxed),
+            recovery_failures: self.stats.recovery_failures.load(Ordering::Relaxed),
+            breaker_tripped: self.stats.breaker_tripped.load(Ordering::Relaxed),
+            last_error: lock(&self.last_error).clone(),
+            last_version: self.version(),
+        }
+    }
+}
+
+type EditFn = Box<dyn FnOnce(&mut EditTxn) -> Result<(), CircuitError> + Send>;
+
+pub(crate) enum Request {
+    Edit {
+        op: EditFn,
+        reply: SyncSender<Result<EditOutcome, ServiceError>>,
+    },
+    /// Barrier: replies with the current version once every earlier
+    /// request has been processed.
+    Sync {
+        reply: SyncSender<u64>,
+    },
+    /// Clone of the session's circuit (for oracles/resims) plus the
+    /// version it corresponds to.
+    Inspect {
+        reply: SyncSender<(Circuit, u64)>,
+    },
+    Close,
+}
+
+/// RAII bracket for the per-session in-flight quota.
+struct QuotaGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> QuotaGuard<'a> {
+    fn acquire(shared: &'a Shared, quota: usize) -> Result<QuotaGuard<'a>, ServiceError> {
+        if shared.inflight.fetch_add(1, Ordering::AcqRel) >= quota {
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Rejected {
+                reason: format!("session {} in-flight quota of {quota} exhausted", shared.id),
+            });
+        }
+        Ok(QuotaGuard { shared })
+    }
+}
+
+impl Drop for QuotaGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Client handle to one session. Cheap to clone; every clone talks to
+/// the same supervised writer. Dropping all handles (manager's
+/// included) closes the session.
+#[derive(Clone)]
+pub struct SessionHandle {
+    pub(crate) tx: SyncSender<Request>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) cfg: Arc<ServiceConfig>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("id", &self.shared.id)
+            .field("state", &self.shared.state())
+            .field("version", &self.shared.version())
+            .finish()
+    }
+}
+
+impl SessionHandle {
+    /// The session's id.
+    pub fn id(&self) -> SessionId {
+        self.shared.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.shared.state()
+    }
+
+    /// Blocks until `pred` holds for the session state (or `timeout`
+    /// elapses) and returns the state observed last.
+    pub fn wait_for(&self, pred: impl Fn(SessionState) -> bool, timeout: Duration) -> SessionState {
+        self.shared.wait_state(pred, timeout)
+    }
+
+    /// The last published [`StateSnapshot`] — the degraded-read path.
+    /// Never blocks on the writer: during quarantine, recovery, and even
+    /// terminal failure this keeps serving the newest consistent
+    /// version.
+    pub fn snapshot(&self) -> Option<StateSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// Version of the last published snapshot (0 before the baseline).
+    pub fn version(&self) -> u64 {
+        self.shared.version()
+    }
+
+    /// The session's autopsy so far.
+    pub fn report(&self) -> SessionReport {
+        self.shared.report()
+    }
+
+    /// Submits a transactional edit with the configured default
+    /// deadline, seeding retry jitter from the session id.
+    pub fn edit<F>(&self, f: F) -> Result<EditOutcome, ServiceError>
+    where
+        F: FnOnce(&mut EditTxn) -> Result<(), CircuitError> + Send + 'static,
+    {
+        self.edit_with_deadline(f, self.cfg.default_deadline, self.shared.id.0)
+    }
+
+    /// Submits a transactional edit, bounded by `deadline` end to end
+    /// (mailbox retries included). `seed` determinizes the backoff
+    /// jitter — callers retrying the same logical request should reuse
+    /// their seed to reproduce the schedule.
+    ///
+    /// Failure modes, all typed and all leaving the circuit unchanged:
+    /// [`ServiceError::Rejected`] (quota), [`ServiceError::Overloaded`]
+    /// (mailbox full through backoff), [`ServiceError::Timeout`] (writer
+    /// too slow — the edit may still commit late),
+    /// [`ServiceError::Engine`] (transaction invalid),
+    /// [`ServiceError::SessionPoisoned`] (writer died mid-request; the
+    /// watchdog is recovering it).
+    pub fn edit_with_deadline<F>(
+        &self,
+        f: F,
+        deadline: Duration,
+        seed: u64,
+    ) -> Result<EditOutcome, ServiceError>
+    where
+        F: FnOnce(&mut EditTxn) -> Result<(), CircuitError> + Send + 'static,
+    {
+        let _quota = QuotaGuard::acquire(&self.shared, self.cfg.inflight_quota)?;
+        self.call(
+            |reply| Request::Edit {
+                op: Box::new(f),
+                reply,
+            },
+            deadline,
+            seed,
+        )?
+    }
+
+    /// Waits until the writer has processed every request submitted
+    /// before this call; returns the then-current version.
+    pub fn sync(&self) -> Result<u64, ServiceError> {
+        self.call(
+            |reply| Request::Sync { reply },
+            self.cfg.default_deadline,
+            self.shared.id.0,
+        )
+    }
+
+    /// A clone of the session's circuit and the version it corresponds
+    /// to — the resimulation oracle for consistency checks.
+    pub fn circuit(&self) -> Result<(Circuit, u64), ServiceError> {
+        self.call(
+            |reply| Request::Inspect { reply },
+            self.cfg.default_deadline,
+            self.shared.id.0,
+        )
+    }
+
+    /// A terminal-state error matching the session's current state.
+    fn terminal_error(&self) -> ServiceError {
+        match self.shared.state() {
+            SessionState::Failed => ServiceError::SessionFailed {
+                session: self.shared.id,
+            },
+            _ => ServiceError::SessionClosed {
+                session: self.shared.id,
+            },
+        }
+    }
+
+    /// Shared submit mechanics: admission by state, probe, bounded
+    /// enqueue with seeded backoff, reply wait bounded by the deadline.
+    fn call<T>(
+        &self,
+        make: impl FnOnce(SyncSender<T>) -> Request,
+        deadline: Duration,
+        seed: u64,
+    ) -> Result<T, ServiceError> {
+        let state = self.shared.state();
+        if !state.is_serving() {
+            return Err(self.terminal_error());
+        }
+        qtask_faults::fault_point_err!(
+            "service/enqueue",
+            ServiceError::injected("service/enqueue")
+        );
+        let start = Instant::now();
+        // Reply capacity 1: the writer's send never blocks, even when
+        // the caller has already timed out and dropped the receiver.
+        let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+        let mut req = make(reply_tx);
+        let mut backoff = BackoffSchedule::new(&self.cfg.retry, seed, deadline);
+        loop {
+            match self.tx.try_send(req) {
+                Ok(()) => break,
+                Err(TrySendError::Full(r)) => {
+                    req = r;
+                    match backoff.next() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => {
+                            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                            return Err(ServiceError::Overloaded {
+                                session: self.shared.id,
+                                mailbox: self.cfg.mailbox_capacity,
+                            });
+                        }
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(self.terminal_error()),
+            }
+        }
+        let remaining = deadline.saturating_sub(start.elapsed());
+        match reply_rx.recv_timeout(remaining) {
+            Ok(value) => Ok(value),
+            Err(RecvTimeoutError::Timeout) => {
+                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Timeout {
+                    session: self.shared.id,
+                    waited: start.elapsed(),
+                })
+            }
+            // The writer dropped the request without replying: it died
+            // mid-request and the watchdog took over.
+            Err(RecvTimeoutError::Disconnected) => Err(ServiceError::SessionPoisoned {
+                session: self.shared.id,
+                reason: lock(&self.shared.last_error)
+                    .clone()
+                    .unwrap_or_else(|| "writer task terminated mid-request".to_string()),
+            }),
+        }
+    }
+}
+
+/// Why the writer loop returned.
+enum LoopExit {
+    /// Close requested, or every handle was dropped.
+    Closed,
+    /// The engine poisoned itself; quarantine and recover.
+    Poisoned(String),
+}
+
+/// The supervisor owning one session's engine and mailbox; runs on a
+/// dedicated thread ([`crate::SessionManager::open`] spawns it).
+pub(crate) struct Supervisor {
+    pub(crate) ckt: Ckt,
+    pub(crate) rx: Receiver<Request>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) cfg: Arc<ServiceConfig>,
+}
+
+impl Supervisor {
+    pub(crate) fn run(mut self) {
+        // Baseline publish: leave `Admitted` only once readers have a
+        // consistent |0…0⟩ snapshot to degrade to. A config broken at
+        // birth (e.g. an impossible norm tolerance) goes straight into
+        // the quarantine → breaker path instead.
+        match self.ckt.try_snapshot() {
+            Ok(snap) => {
+                self.shared.publish(snap);
+                self.shared.set_state(SessionState::Active);
+            }
+            Err(e) => {
+                self.shared.note_error(e.to_string());
+                self.shared.set_state(SessionState::Quarantined);
+                if !self.heal() {
+                    self.fail_and_drain();
+                    return;
+                }
+            }
+        }
+        loop {
+            let exit = catch_unwind(AssertUnwindSafe(|| {
+                writer_loop(&mut self.ckt, &self.rx, &self.shared)
+            }));
+            let reason = match exit {
+                Ok(LoopExit::Closed) => {
+                    self.shared.set_state(SessionState::Closed);
+                    return;
+                }
+                Ok(LoopExit::Poisoned(reason)) => reason,
+                Err(payload) => panic_text(payload.as_ref()),
+            };
+            self.shared.note_error(reason);
+            self.shared.set_state(SessionState::Quarantined);
+            if !self.heal() {
+                self.fail_and_drain();
+                return;
+            }
+        }
+    }
+
+    /// Watchdog: recover the engine under the circuit breaker. Returns
+    /// false when the breaker trips ([`ServiceConfig::breaker_threshold`]
+    /// consecutive failures within [`ServiceConfig::breaker_window`]).
+    fn heal(&mut self) -> bool {
+        let mut failures = 0u32;
+        let mut window_start = Instant::now();
+        let mut backoff = BackoffSchedule::new(
+            &self.cfg.retry,
+            self.shared.id.0 ^ self.shared.stats.recoveries.load(Ordering::Relaxed),
+            self.cfg.breaker_window,
+        );
+        loop {
+            match attempt_recovery(&mut self.ckt) {
+                Ok(()) => {
+                    self.shared.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(snap) = self.ckt.latest_snapshot() {
+                        self.shared.publish(snap);
+                    }
+                    self.shared.set_state(SessionState::Recovered);
+                    return true;
+                }
+                Err(e) => {
+                    self.shared
+                        .stats
+                        .recovery_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.note_error(e.to_string());
+                    if window_start.elapsed() > self.cfg.breaker_window {
+                        failures = 0;
+                        window_start = Instant::now();
+                    }
+                    failures += 1;
+                    if failures >= self.cfg.breaker_threshold {
+                        return false;
+                    }
+                    if let Some(delay) = backoff.next() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Breaker tripped: mark terminal `Failed`, answer everything still
+    /// queued with [`ServiceError::SessionFailed`], and exit (dropping
+    /// the mailbox, so later submissions see a disconnect and map it to
+    /// the same typed error).
+    fn fail_and_drain(&mut self) {
+        self.shared
+            .stats
+            .breaker_tripped
+            .store(true, Ordering::Relaxed);
+        self.shared.set_state(SessionState::Failed);
+        let failed = ServiceError::SessionFailed {
+            session: self.shared.id,
+        };
+        for req in self.rx.try_iter() {
+            match req {
+                Request::Edit { reply, .. } => {
+                    let _ = reply.send(Err(failed.clone()));
+                }
+                // Sync/Inspect replies are dropped: their callers get a
+                // disconnect, mapped to the session's terminal state.
+                Request::Sync { .. } | Request::Inspect { .. } | Request::Close => {}
+            }
+        }
+    }
+}
+
+/// One recovery attempt, panic-contained: an unwind out of the recovery
+/// path itself (probe or rebuild) must count as a *failed attempt* for
+/// the breaker, never kill the supervisor thread.
+fn attempt_recovery(ckt: &mut Ckt) -> Result<(), ServiceError> {
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<(), ServiceError> {
+        qtask_faults::fault_point_err!(
+            "service/recover",
+            ServiceError::injected("service/recover")
+        );
+        ckt.recover().map_err(ServiceError::Engine)?;
+        Ok(())
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(ServiceError::Engine(
+            qtask_core::EngineError::RecoveryFailed {
+                reason: panic_text(payload.as_ref()),
+            },
+        )),
+    }
+}
+
+/// The writer: drains the mailbox, applying edits and publishing
+/// snapshots, until close/disconnect or poisoning. Runs inside the
+/// supervisor's `catch_unwind`; a panic anywhere here (injected fault,
+/// panicking client closure, engine bug) drops the in-flight request —
+/// its caller observes [`ServiceError::SessionPoisoned`] — and routes to
+/// the quarantine path.
+fn writer_loop(ckt: &mut Ckt, rx: &Receiver<Request>, shared: &Shared) -> LoopExit {
+    loop {
+        let req = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return LoopExit::Closed,
+        };
+        qtask_faults::fault_point!("service/writer");
+        match req {
+            Request::Close => return LoopExit::Closed,
+            Request::Sync { reply } => {
+                let _ = reply.send(shared.version());
+            }
+            Request::Inspect { reply } => {
+                let _ = reply.send((ckt.circuit().clone(), shared.version()));
+            }
+            Request::Edit { op, reply } => match apply_edit(ckt, op, shared) {
+                Ok(outcome) => {
+                    shared.stats.edits_ok.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(Ok(outcome));
+                }
+                Err(e) => {
+                    shared.stats.edits_failed.fetch_add(1, Ordering::Relaxed);
+                    if ckt.is_poisoned() {
+                        let reason = ckt.poison_reason().unwrap_or("engine poisoned").to_string();
+                        let _ = reply.send(Err(ServiceError::SessionPoisoned {
+                            session: shared.id,
+                            reason: reason.clone(),
+                        }));
+                        return LoopExit::Poisoned(reason);
+                    }
+                    let _ = reply.send(Err(e));
+                }
+            },
+        }
+    }
+}
+
+/// Commit one transaction, re-simulate, publish. A typed error with a
+/// healthy engine leaves the circuit exactly as before (the transaction
+/// staged and aborted); a poisoning error is escalated by the caller.
+fn apply_edit(ckt: &mut Ckt, op: EditFn, shared: &Shared) -> Result<EditOutcome, ServiceError> {
+    let (_, receipt) = ckt.edit(|tx| op(tx)).map_err(ServiceError::Engine)?;
+    ckt.update_state().map_err(ServiceError::Engine)?;
+    if let Some(snap) = ckt.latest_snapshot() {
+        shared.publish(snap);
+    }
+    Ok(EditOutcome {
+        receipt,
+        version: ckt.snapshot_version(),
+    })
+}

@@ -148,6 +148,9 @@ struct Inner {
     shutdown: AtomicBool,
     observer: RwLock<Option<Arc<dyn Observer>>>,
     has_observer: AtomicBool,
+    /// Lifetime count of tasks executed (cancelled nodes included —
+    /// they're still drained through a worker).
+    tasks_run: AtomicU64,
 }
 
 /// A persistent work-stealing thread pool executing [`Taskflow`] graphs.
@@ -176,6 +179,7 @@ impl Executor {
             shutdown: AtomicBool::new(false),
             observer: RwLock::new(None),
             has_observer: AtomicBool::new(false),
+            tasks_run: AtomicU64::new(0),
         });
         let handles = deques
             .into_iter()
@@ -203,6 +207,14 @@ impl Executor {
     /// Number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Lifetime count of tasks this pool has executed, across every
+    /// graph and every caller sharing it. Service/bench observability:
+    /// a shared pool multiplexing N sessions reports aggregate task
+    /// throughput here without per-session bookkeeping.
+    pub fn tasks_run(&self) -> u64 {
+        self.inner.tasks_run.load(Ordering::Relaxed)
     }
 
     /// Installs (or clears) an execution observer.
@@ -433,6 +445,7 @@ fn enqueue_local(inner: &Inner, local: &WorkerDeque<Job>, job: Job) {
 unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize) {
     let node = unsafe { &*job.0 };
     let ctx = unsafe { &*node.ctx };
+    inner.tasks_run.fetch_add(1, Ordering::Relaxed);
     let observer = if inner.has_observer.load(Ordering::Acquire) {
         inner.observer.read().clone()
     } else {
@@ -630,6 +643,20 @@ mod tests {
         }
         ex.run(&tf);
         assert_eq!(count.load(O::SeqCst), 100);
+    }
+
+    #[test]
+    fn tasks_run_counts_across_graphs() {
+        let ex = Executor::new(2);
+        assert_eq!(ex.tasks_run(), 0);
+        let mut tf = Taskflow::new("t");
+        for i in 0..10 {
+            tf.emplace(format!("t{i}"), || {});
+        }
+        ex.run(&tf);
+        assert_eq!(ex.tasks_run(), 10);
+        ex.run(&tf);
+        assert_eq!(ex.tasks_run(), 20);
     }
 
     #[test]

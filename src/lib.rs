@@ -72,6 +72,7 @@
 //! | [`partition`] | `qtask-partition` | block partitioning math |
 //! | [`taskflow`] | `qtask-taskflow` | work-stealing DAG executor |
 //! | [`qasm`] | `qtask-qasm` | OpenQASM 2.0 parser/writer |
+//! | [`service`] | `qtask-service` | supervised multi-session service |
 //! | [`baselines`] | `qtask-baselines` | Qulacs-like / Qiskit-like / naive |
 //! | [`bench_circuits`] | `qtask-bench-circuits` | QASMBench-style generators |
 
@@ -83,6 +84,7 @@ pub use qtask_gates as gates;
 pub use qtask_num as num;
 pub use qtask_partition as partition;
 pub use qtask_qasm as qasm;
+pub use qtask_service as service;
 pub use qtask_taskflow as taskflow;
 
 /// The most common imports in one place.
@@ -98,5 +100,9 @@ pub mod prelude {
     };
     pub use qtask_gates::{GateClass, GateKind};
     pub use qtask_num::{c64, Complex64};
+    pub use qtask_service::{
+        EditOutcome, ServiceConfig, ServiceError, SessionHandle, SessionId, SessionManager,
+        SessionReport, SessionState,
+    };
     pub use qtask_taskflow::{Executor, TaskPanic, Taskflow};
 }
