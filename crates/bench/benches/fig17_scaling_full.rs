@@ -8,7 +8,7 @@ use qtask_core::SimConfig;
 use qtask_taskflow::Executor;
 use std::sync::Arc;
 
-fn run_series(name: &str, opts: &Opts) {
+fn run_series(name: &str, opts: &Opts, rows: &mut Vec<String>) {
     let (circuit, n) = opts.build_circuit(name);
     let levels = levels_of(&circuit);
     println!(
@@ -22,15 +22,24 @@ fn run_series(name: &str, opts: &Opts) {
             break;
         }
         let ex = Arc::new(Executor::new(threads));
+        // Registry deltas across the qTask runs: the trajectory row
+        // records how many engine tasks the measured work dispatched.
+        let before = qtask_obs::snapshot();
         let qt = median_of(opts.reps, || {
             let mut sim = make_sim(SimKind::QTask, n, &ex, &config);
             full_sim_ms(sim.as_mut(), &levels)
         });
+        let tasks = qtask_obs::snapshot().counter_total("core.tasks_executed")
+            - before.counter_total("core.tasks_executed");
         let qul = median_of(opts.reps, || {
             let mut sim = make_sim(SimKind::Qulacs, n, &ex, &config);
             full_sim_ms(sim.as_mut(), &levels)
         });
         println!("{threads:>6} {qt:>12.2} {qul:>12.2}");
+        rows.push(format!(
+            "{{\"circuit\": \"{name}\", \"qubits\": {n}, \"threads\": {threads}, \
+             \"qtask_ms\": {qt:.3}, \"qulacs_ms\": {qul:.3}, \"tasks_executed\": {tasks}}}"
+        ));
     }
 }
 
@@ -38,6 +47,8 @@ fn main() {
     harness_init();
     let opts = Opts::from_env();
     println!("Figure 17 reproduction — full-simulation scalability");
-    run_series("qft", &opts);
-    run_series("big_adder", &opts);
+    let mut rows = Vec::new();
+    run_series("qft", &opts, &mut rows);
+    run_series("big_adder", &opts, &mut rows);
+    write_scaling_section("full", &rows);
 }

@@ -50,7 +50,7 @@ fn mixed_protocol_ms(kind: SimKind, n: u8, ex: &Arc<Executor>, levels: &Levels, 
     t0.elapsed().as_secs_f64() * 1e3
 }
 
-fn run_series(name: &str, opts: &Opts) {
+fn run_series(name: &str, opts: &Opts, rows: &mut Vec<String>) {
     let (circuit, n) = opts.build_circuit(name);
     let levels = levels_of(&circuit);
     println!(
@@ -63,13 +63,24 @@ fn run_series(name: &str, opts: &Opts) {
             break;
         }
         let ex = Arc::new(Executor::new(threads));
+        // Registry deltas across the qTask runs: incremental updates and
+        // the tasks they dispatched, straight from the metrics registry.
+        let before = qtask_obs::snapshot();
         let qt = median_of(opts.reps, || {
             mixed_protocol_ms(SimKind::QTask, n, &ex, &levels, 18)
         });
+        let after = qtask_obs::snapshot();
+        let delta = |k: &str| after.counter_total(k) - before.counter_total(k);
+        let (updates, tasks) = (delta("core.updates"), delta("core.tasks_executed"));
         let qul = median_of(opts.reps, || {
             mixed_protocol_ms(SimKind::Qulacs, n, &ex, &levels, 18)
         });
         println!("{threads:>6} {qt:>12.2} {qul:>12.2}");
+        rows.push(format!(
+            "{{\"circuit\": \"{name}\", \"qubits\": {n}, \"threads\": {threads}, \
+             \"iterations\": {ITERATIONS}, \"qtask_ms\": {qt:.3}, \"qulacs_ms\": {qul:.3}, \
+             \"updates\": {updates}, \"tasks_executed\": {tasks}}}"
+        ));
     }
 }
 
@@ -77,6 +88,8 @@ fn main() {
     harness_init();
     let opts = Opts::from_env();
     println!("Figure 18 reproduction — incremental-simulation scalability");
-    run_series("qft", &opts);
-    run_series("big_adder", &opts);
+    let mut rows = Vec::new();
+    run_series("qft", &opts, &mut rows);
+    run_series("big_adder", &opts, &mut rows);
+    write_scaling_section("incremental", &rows);
 }

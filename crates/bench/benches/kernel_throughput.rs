@@ -11,8 +11,13 @@
 //!
 //! The acceptance bar for this layer: ≥2x batched-over-scalar on Diag and
 //! Swap at ≥20 qubits. Record results in EXPERIMENTS.md.
+//!
+//! Emits `BENCH_kernels.json` at the workspace root. Engine rows carry
+//! `updates`/`tasks_executed` counts read from the qtask-obs metrics
+//! registry, so the trajectory file doubles as a check that the engine
+//! counters move when the engine does.
 
-use qtask_bench::{harness_init, median_of, Opts};
+use qtask_bench::{harness_init, median_of, write_bench_json, Opts};
 use qtask_core::{Ckt, KernelPolicy, SimConfig};
 use qtask_gates::GateKind;
 use qtask_num::{vecops, Complex64};
@@ -48,7 +53,38 @@ fn report(label: &str, scalar_ms: f64, batched_ms: f64) {
     );
 }
 
-fn flat_kernels(opts: &Opts) {
+/// JSON row for a scalar-vs-batched pair, with optional registry-sourced
+/// engine counters (`updates`, `tasks_executed`) for engine sections.
+fn row_json(
+    section: &str,
+    op: &str,
+    scalar_ms: f64,
+    batched_ms: f64,
+    engine: Option<(u64, u64)>,
+) -> String {
+    let extra = match engine {
+        Some((updates, tasks)) => {
+            format!(", \"updates\": {updates}, \"tasks_executed\": {tasks}")
+        }
+        None => String::new(),
+    };
+    format!(
+        "{{\"section\": \"{section}\", \"op\": \"{op}\", \"scalar_ms\": {scalar_ms:.4}, \
+         \"batched_ms\": {batched_ms:.4}, \"speedup\": {:.3}{extra}}}",
+        scalar_ms / batched_ms
+    )
+}
+
+/// Registry deltas (`core.updates`, `core.tasks_executed`) across `f`.
+fn with_engine_counters<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let before = qtask_obs::snapshot();
+    let value = f();
+    let after = qtask_obs::snapshot();
+    let delta = |name: &str| after.counter_total(name) - before.counter_total(name);
+    (value, delta("core.updates"), delta("core.tasks_executed"))
+}
+
+fn flat_kernels(opts: &Opts, rows: &mut Vec<String>) {
     println!("\nFlat kernels, {N} qubits ({} amplitudes):", 1u64 << N);
     println!(
         "{:<28} {:>12} {:>12} {:>9}",
@@ -94,6 +130,7 @@ fn flat_kernels(opts: &Opts) {
             kernels::apply_linear_runs(&op, N, black_box(&mut state), 0..total)
         });
         report(label, scalar, batched);
+        rows.push(row_json("flat", label, scalar, batched, None));
     }
 
     let h = GateKind::H.base_matrix().unwrap();
@@ -105,12 +142,13 @@ fn flat_kernels(opts: &Opts) {
         kernels::apply_dense_runs(0, 9, &h, N, black_box(&mut state), 0..total)
     });
     report("dense H(q9)", scalar, batched);
+    rows.push(row_json("flat", "dense H(q9)", scalar, batched, None));
 }
 
 /// Warm incremental MxV update cost under each kernel policy: toggle a
 /// second dense factor into a trailing group and re-update, so every MxV
 /// partition re-executes against warm buffers.
-fn engine_mxv(opts: &Opts) {
+fn engine_mxv(opts: &Opts, rows: &mut Vec<String>) {
     let n = 20u8;
     println!("\nEngine MxV incremental update, {n} qubits, group cap 2:");
     println!(
@@ -140,12 +178,19 @@ fn engine_mxv(opts: &Opts) {
         })
     };
     let scalar = measure_policy(KernelPolicy::Scalar);
-    let batched = measure_policy(KernelPolicy::Batched);
+    let (batched, updates, tasks) = with_engine_counters(|| measure_policy(KernelPolicy::Batched));
     report("mxv toggle H(q1)", scalar, batched);
+    rows.push(row_json(
+        "engine_mxv",
+        "mxv toggle H(q1)",
+        scalar,
+        batched,
+        Some((updates, tasks)),
+    ));
 }
 
 /// Warm incremental linear-row update cost under each kernel policy.
-fn engine_linear(opts: &Opts) {
+fn engine_linear(opts: &Opts, rows: &mut Vec<String>) {
     let n = 20u8;
     println!("\nEngine linear incremental update, {n} qubits:");
     println!(
@@ -177,28 +222,37 @@ fn engine_linear(opts: &Opts) {
             })
         };
         let scalar = measure_policy(KernelPolicy::Scalar);
-        let batched = measure_policy(KernelPolicy::Batched);
+        let (batched, updates, tasks) =
+            with_engine_counters(|| measure_policy(KernelPolicy::Batched));
         report(label, scalar, batched);
+        rows.push(row_json(
+            "engine_linear",
+            label,
+            scalar,
+            batched,
+            Some((updates, tasks)),
+        ));
     }
 }
 
-/// Probe overhead guard: the fault-injection probes threaded through
-/// the update hot path compile to *nothing* in a default build, so two
-/// back-to-back measurements of the probe-threaded warm update must
-/// agree within measurement noise. A probe accidentally left
-/// unconditional (its registry takes a mutex per hit) blows this band
-/// up by orders of magnitude on the many-blocks path below. Record the
+/// Probe overhead guard: the fault-injection probes *and* the obs trace
+/// spans threaded through the update hot path compile to nothing in a
+/// default build, so two back-to-back measurements of the instrumented
+/// warm update must agree within measurement noise. A probe or span
+/// accidentally left unconditional (fault probes take a mutex per hit;
+/// spans push ring events per update phase) blows this band up on the
+/// many-blocks path below. With `--features obs` the second leg runs
+/// with tracing armed, so the same band bounds the *enabled* span cost
+/// too (target <5%; the assert allows scheduler noise). Record the
 /// numbers against the pre-probe baseline in EXPERIMENTS.md.
-fn probe_overhead(opts: &Opts) {
+fn probe_overhead(opts: &Opts, rows: &mut Vec<String>) {
     let n = 20u8;
     let faults_on = cfg!(feature = "faults");
+    let obs_on = cfg!(feature = "obs");
     println!(
-        "\nProbe overhead, {n} qubits (faults feature {}):",
-        if faults_on {
-            "ON, disarmed"
-        } else {
-            "compiled out"
-        }
+        "\nProbe overhead, {n} qubits (faults {}, obs {}):",
+        if faults_on { "ON, disarmed" } else { "off" },
+        if obs_on { "ON" } else { "off" },
     );
     let reps = opts.reps.max(5);
     let measure = || {
@@ -220,17 +274,30 @@ fn probe_overhead(opts: &Opts) {
             t0.elapsed().as_secs_f64() * 1e3
         })
     };
+    // Leg A: tracing off (no-op in a default build; explicit with obs).
+    #[cfg(feature = "obs")]
+    qtask_obs::set_trace_enabled(false);
     let a = measure();
+    // Leg B: tracing armed when compiled in — the A/A band becomes an
+    // enabled-vs-disabled bound on span overhead.
+    #[cfg(feature = "obs")]
+    qtask_obs::set_trace_enabled(true);
     let b = measure();
     let ratio = if a > b { a / b } else { b / a };
     println!(
         "{:<28} {a:>12.3} {b:>12.3} {ratio:>8.3}x",
         "warm X(q12) toggle A/A"
     );
+    rows.push(format!(
+        "{{\"section\": \"probe_overhead\", \"op\": \"warm X(q12) toggle A/A\", \
+         \"a_ms\": {a:.4}, \"b_ms\": {b:.4}, \"ratio\": {ratio:.4}, \
+         \"faults\": {faults_on}, \"obs\": {obs_on}}}"
+    ));
     assert!(
         ratio < 1.5,
-        "probe-threaded update path is not stable across identical runs \
-         ({a:.3} ms vs {b:.3} ms): probes may no longer be compiled out"
+        "instrumented update path is not stable across identical runs \
+         ({a:.3} ms vs {b:.3} ms): probes/spans may no longer be compiled \
+         out (or span overhead is far above the 5% target)"
     );
 }
 
@@ -241,8 +308,20 @@ fn main() {
         "Kernel throughput bench ({} threads, {} reps)",
         opts.threads, opts.reps
     );
-    flat_kernels(&opts);
-    engine_mxv(&opts);
-    engine_linear(&opts);
-    probe_overhead(&opts);
+    let mut rows = Vec::new();
+    flat_kernels(&opts, &mut rows);
+    engine_mxv(&opts, &mut rows);
+    engine_linear(&opts, &mut rows);
+    probe_overhead(&opts, &mut rows);
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"qubits\": {N},\n  \"engine_qubits\": 20,\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        opts.threads,
+        opts.reps,
+        rows.iter()
+            .map(|r| format!("    {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    write_bench_json("BENCH_kernels.json", &json);
 }

@@ -288,6 +288,89 @@ pub fn incremental_sim_ms(sim: &mut dyn Simulator, levels: &Levels) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
+/// Writes a `BENCH_*.json` trajectory file at the workspace root.
+///
+/// cargo runs benches with the package dir as cwd; the trajectory files
+/// live two levels up. Failure to write is reported, not fatal — benches
+/// must still print their tables on a read-only checkout.
+pub fn write_bench_json(file_name: &str, json: &str) {
+    let out = format!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../{}"), file_name);
+    match std::fs::write(&out, json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => println!("\ncould not write {out}: {e}"),
+    }
+}
+
+/// Extracts the inner rows of a `"name": [ ... ]` array from previously
+/// written JSON, so a bench can rewrite its own series while preserving
+/// a sibling's. String-level on purpose: the default build carries no
+/// JSON parser, and the emitters control the shape.
+fn extract_series(text: &str, name: &str) -> Option<Vec<String>> {
+    let key = format!("\"{name}\": [");
+    let start = text.find(&key)? + key.len();
+    let mut depth = 1i32;
+    for (i, c) in text[start..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(
+                        text[start..start + i]
+                            .lines()
+                            .map(str::trim)
+                            .filter(|l| !l.is_empty())
+                            .map(str::to_string)
+                            .collect(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn fmt_series(rows: &[String]) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let body = rows
+        .iter()
+        .map(|r| format!("      {}", r.trim_end_matches(',')))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n    ]")
+}
+
+/// Writes one section (`"full"` or `"incremental"`) of
+/// `BENCH_scaling.json`, merging in whatever the sibling bench last
+/// wrote for the other section. fig17 and fig18 are separate bench
+/// binaries but share one trajectory file.
+pub fn write_scaling_section(section: &str, rows: &[String]) {
+    assert!(section == "full" || section == "incremental");
+    let other_name = if section == "full" {
+        "incremental"
+    } else {
+        "full"
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let other = extract_series(&existing, other_name).unwrap_or_default();
+    let (full, inc) = if section == "full" {
+        (rows, other.as_slice())
+    } else {
+        (other.as_slice(), rows)
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"series\": {{\n    \"full\": {},\n    \
+         \"incremental\": {}\n  }}\n}}\n",
+        fmt_series(full),
+        fmt_series(inc)
+    );
+    write_bench_json("BENCH_scaling.json", &json);
+}
+
 /// Runs `f` `reps` times and returns the median of the returned values.
 pub fn median_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
     let mut xs: Vec<f64> = (0..reps.max(1)).map(|_| f()).collect();

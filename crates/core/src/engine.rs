@@ -92,6 +92,48 @@ pub struct UpdateReport {
     pub drift_events: u64,
 }
 
+/// Interns every `core.*` metric the engine's reports surface, so
+/// metrics expositions cover them all from the first snapshot — even
+/// counters whose recording path never ran (e.g. a recovery failure).
+/// Called once per engine construction; interning an existing handle is
+/// a map lookup.
+fn touch_core_metrics() {
+    let _ = qtask_obs::counter!("core.updates");
+    let _ = qtask_obs::counter!("core.partitions_executed");
+    let _ = qtask_obs::counter!("core.tasks_executed");
+    let _ = qtask_obs::counter!("core.blocks_resolved");
+    let _ = qtask_obs::counter!("core.owner_probes");
+    let _ = qtask_obs::counter!("core.snapshot_blocks_resolved");
+    let _ = qtask_obs::counter!("core.drift_events");
+    let _ = qtask_obs::counter!("core.recoveries");
+    let _ = qtask_obs::counter!("core.recovery_failures");
+    let _ = qtask_obs::counter!("core.query.calls");
+    let _ = qtask_obs::counter!("core.query.blocks_resolved");
+    let _ = qtask_obs::counter!("core.query.owner_probes");
+    let _ = qtask_obs::histogram!("core.update_us");
+    let _ = qtask_obs::histogram!("core.update_build_us");
+    let _ = qtask_obs::histogram!("core.update_run_us");
+    let _ = qtask_obs::histogram!("core.recover_us");
+    let _ = qtask_obs::gauge!("core.norm_error_nanos");
+}
+
+/// Mirrors a finished update's report into the global `qtask-obs`
+/// registry. The registry counters and the per-call struct are fed from
+/// the same values at the same instant, so the two views can never
+/// disagree (asserted by `tests/obs_report_drift.rs`).
+fn record_update_metrics(report: &UpdateReport) {
+    qtask_obs::counter!("core.updates").inc();
+    qtask_obs::counter!("core.partitions_executed").add(report.partitions_executed as u64);
+    qtask_obs::counter!("core.tasks_executed").add(report.tasks_executed as u64);
+    qtask_obs::counter!("core.blocks_resolved").add(report.blocks_resolved);
+    qtask_obs::counter!("core.owner_probes").add(report.owner_probes);
+    qtask_obs::counter!("core.snapshot_blocks_resolved").add(report.snapshot_blocks_resolved);
+    qtask_obs::histogram!("core.update_us").record_duration_us(report.elapsed);
+    qtask_obs::histogram!("core.update_build_us").record_duration_us(report.build_elapsed);
+    qtask_obs::histogram!("core.update_run_us").record_duration_us(report.run_elapsed);
+    qtask_obs::gauge!("core.norm_error_nanos").set((report.norm_error * 1e9) as i64);
+}
+
 /// What [`Ckt::recover`] did: a full rebuild of the simulation state by
 /// replaying the retained circuit and re-executing every partition.
 #[derive(Clone, Debug)]
@@ -189,6 +231,7 @@ impl Ckt {
     /// `Ckt`s are built in a loop (benchmarks) and worker threads should
     /// be reused.
     pub fn with_executor(num_qubits: u8, config: SimConfig, executor: Arc<Executor>) -> Ckt {
+        touch_core_metrics();
         let geom = BlockGeometry::new(num_qubits, config.block_size);
         // |0…0⟩: all the norm lives in block 0.
         let mut block_norms = vec![0.0; geom.num_blocks()];
@@ -321,6 +364,7 @@ impl Ckt {
     /// Works on healthy engines too (it is a plain full rebuild), which is
     /// what the recovery-latency bench measures.
     pub fn recover(&mut self) -> Result<RecoveryReport, EngineError> {
+        let _recover_span = qtask_obs::span!("recover");
         let t0 = Instant::now();
         let seq = self.snapshot_seq;
         let circuit = self.circuit.clone();
@@ -343,14 +387,22 @@ impl Ckt {
                     partitions: fresh.num_partitions(),
                 };
                 *self = fresh;
+                qtask_obs::counter!("core.recoveries").inc();
+                qtask_obs::histogram!("core.recover_us").record_duration_us(report.elapsed);
                 Ok(report)
             }
-            Ok(Err(e)) => Err(EngineError::RecoveryFailed {
-                reason: e.to_string(),
-            }),
-            Err(payload) => Err(EngineError::RecoveryFailed {
-                reason: payload_text(payload.as_ref()),
-            }),
+            Ok(Err(e)) => {
+                qtask_obs::counter!("core.recovery_failures").inc();
+                Err(EngineError::RecoveryFailed {
+                    reason: e.to_string(),
+                })
+            }
+            Err(payload) => {
+                qtask_obs::counter!("core.recovery_failures").inc();
+                Err(EngineError::RecoveryFailed {
+                    reason: payload_text(payload.as_ref()),
+                })
+            }
         }
     }
 
@@ -830,6 +882,7 @@ impl Ckt {
     }
 
     fn update_state_inner(&mut self) -> Result<UpdateReport, EngineError> {
+        let _update_span = qtask_obs::span!("update");
         let t0 = Instant::now();
         let publish = self.config.snapshots == SnapshotPolicy::Publish;
         if self.frontier.is_empty() {
@@ -845,11 +898,13 @@ impl Ckt {
             report.norm_error = self.last_norm_error;
             report.drift_events = self.drift_events;
             report.elapsed = t0.elapsed();
+            record_update_metrics(&report);
             return Ok(report);
         }
         // DFS over successor edges: the dirty set is successor-closed.
         // The DFS scratch and the partition→task map are cached in
         // `self.scratch` so steady-state updates reallocate nothing.
+        let partition_span = qtask_obs::span!("update/partition");
         let mut dirty = std::mem::take(&mut self.scratch.dirty);
         let mut stack = std::mem::take(&mut self.scratch.stack);
         let mut task_of = std::mem::take(&mut self.scratch.task_of);
@@ -889,8 +944,10 @@ impl Ckt {
         } else {
             None
         };
+        drop(partition_span);
         // Refresh the fused MxV operators of dirty rows before the tasks
         // that read them are spawned (serial: the cache is engine state).
+        let fuse_span = qtask_obs::span!("update/fuse");
         if self.config.kernels == KernelPolicy::Batched {
             for &pid in &dirty {
                 let rid = self.parts[pid.key()].row;
@@ -901,8 +958,10 @@ impl Ckt {
                 }
             }
         }
+        drop(fuse_span);
         // Build the task graph over dirty partitions only; clean
         // predecessors' outputs are already materialized.
+        let build_span = qtask_obs::span!("update/build");
         self.resolve_stats.reset();
         let chunk = self.geom.block_size() as u64;
         let view = ExecView {
@@ -961,12 +1020,15 @@ impl Ckt {
             }
         }
         let build_elapsed = t0.elapsed();
+        drop(build_span);
+        let kernel_span = qtask_obs::span!("update/kernel");
         let t1 = Instant::now();
         // `try_run` survives panicking tasks: the executor cancels the
         // panicking task's dependents, drains the rest, and reports the
         // first panic here instead of unwinding a worker (or hanging).
         let run_result = self.executor.try_run(&tf);
         let run_elapsed = t1.elapsed();
+        drop(kernel_span);
         let partitions_executed = dirty.len();
         let (blocks_resolved, owner_probes) = self.resolve_stats.snapshot();
         self.scratch.nodes_hint = tf.len();
@@ -985,7 +1047,7 @@ impl Ckt {
             Some((spine, resolve_all)) => self.publish_spine(spine, resolve_all)?,
             None => 0,
         };
-        Ok(UpdateReport {
+        let report = UpdateReport {
             partitions_executed,
             tasks_executed,
             elapsed: t0.elapsed(),
@@ -996,7 +1058,9 @@ impl Ckt {
             snapshot_blocks_resolved,
             norm_error: self.last_norm_error,
             drift_events: self.drift_events,
-        })
+        };
+        record_update_metrics(&report);
+        Ok(report)
     }
 
     // ---- snapshot publication -------------------------------------------
@@ -1096,7 +1160,9 @@ impl Ckt {
         mut blocks: Vec<Option<BlockData>>,
         resolve_all: bool,
     ) -> Result<u64, EngineError> {
+        let _snapshot_span = qtask_obs::span!("update/snapshot");
         let stats = ResolveStats::default();
+        let resolve_span = qtask_obs::span!("update/resolve");
         if resolve_all {
             for (b, slot) in blocks.iter_mut().enumerate() {
                 *slot = self.resolve_final_data(b, &stats);
@@ -1113,6 +1179,7 @@ impl Ckt {
             }
             self.snap_dirty = snap_dirty;
         }
+        drop(resolve_span);
         self.snap_dirty.clear();
         let total: f64 = self.block_norms.iter().sum();
         if !total.is_finite() {
@@ -1127,6 +1194,8 @@ impl Ckt {
         self.last_norm_error = drift;
         if drift > self.config.norm_tolerance {
             self.drift_events += 1;
+            qtask_obs::counter!("core.drift_events").inc();
+            qtask_obs::event!("update/norm_drift");
             match self.config.numerics {
                 NumericalPolicy::Strict => {
                     return Err(self.poison_err(EngineError::NormDrift {

@@ -106,13 +106,16 @@ impl Ckt {
         let (blocks0, probes0) = self.resolve_stats.snapshot();
         let value = f(self);
         let (blocks1, probes1) = self.resolve_stats.snapshot();
-        (
-            value,
-            QueryReport {
-                blocks_resolved: blocks1 - blocks0,
-                owner_probes: probes1 - probes0,
-            },
-        )
+        let report = QueryReport {
+            blocks_resolved: blocks1 - blocks0,
+            owner_probes: probes1 - probes0,
+        };
+        // Mirror the per-call report into the global registry from the
+        // same delta, so the two views cannot disagree.
+        qtask_obs::counter!("core.query.calls").inc();
+        qtask_obs::counter!("core.query.blocks_resolved").add(report.blocks_resolved);
+        qtask_obs::counter!("core.query.owner_probes").add(report.owner_probes);
+        (value, report)
     }
 
     /// The amplitude of basis state `idx`.

@@ -1,6 +1,6 @@
 //! The session manager: admission, multiplexing, lifecycle.
 
-use crate::session::{Request, Shared, Supervisor};
+use crate::session::{Envelope, Shared, Supervisor};
 use crate::{ServiceConfig, ServiceError, SessionHandle, SessionId, SessionReport, SessionState};
 use qtask_core::{Ckt, SimConfig};
 use qtask_taskflow::Executor;
@@ -162,7 +162,7 @@ impl SessionManager {
                 })?;
         // Blocking send: a busy writer drains its queue first, a dead
         // one has dropped the receiver (send fails, which is fine).
-        let _ = entry.handle.tx.send(Request::Close);
+        let _ = entry.handle.tx.send(Envelope::close());
         if let Some(join) = entry.join.take() {
             let _ = join.join();
         }
@@ -201,7 +201,7 @@ impl Drop for SessionManager {
         // handle drops and their mailbox disconnects.
         let inner = lock(&self.inner);
         for entry in inner.sessions.values() {
-            let _ = entry.handle.tx.try_send(Request::Close);
+            let _ = entry.handle.tx.try_send(Envelope::close());
         }
     }
 }

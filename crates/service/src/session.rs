@@ -107,6 +107,11 @@ pub struct SessionReport {
     pub last_error: Option<String>,
     /// Version of the last published snapshot.
     pub last_version: u64,
+    /// The failed writer's final trace events (rendered, oldest first),
+    /// captured from its thread-local ring buffer at quarantine. Empty
+    /// unless the `obs` feature is enabled and the session was
+    /// quarantined at least once.
+    pub recent_trace: Vec<String>,
 }
 
 /// std mutexes poison on panic; all service state behind them is plain
@@ -136,6 +141,42 @@ struct Stats {
     breaker_tripped: AtomicBool,
 }
 
+/// Per-session handles into the global `qtask-obs` registry, labeled
+/// `{session="<id>"}`. Interned once at session creation; every update
+/// afterwards is lock-free. The [`Stats`] atomics and these counters
+/// are bumped at the same sites, so [`SessionReport`] and
+/// [`qtask_obs::MetricsSnapshot`] can never disagree.
+struct SessionMetrics {
+    edits_ok: &'static qtask_obs::Counter,
+    edits_failed: &'static qtask_obs::Counter,
+    shed: &'static qtask_obs::Counter,
+    timeouts: &'static qtask_obs::Counter,
+    recoveries: &'static qtask_obs::Counter,
+    recovery_failures: &'static qtask_obs::Counter,
+    backoff_sleeps: &'static qtask_obs::Counter,
+    mailbox_depth: &'static qtask_obs::Gauge,
+    queue_delay_us: &'static qtask_obs::Histogram,
+}
+
+impl SessionMetrics {
+    fn new(id: SessionId) -> SessionMetrics {
+        let reg = qtask_obs::registry();
+        let v = id.0.to_string();
+        let l = Some(("session", v.as_str()));
+        SessionMetrics {
+            edits_ok: reg.counter_with("service.edits_ok", l),
+            edits_failed: reg.counter_with("service.edits_failed", l),
+            shed: reg.counter_with("service.shed", l),
+            timeouts: reg.counter_with("service.timeouts", l),
+            recoveries: reg.counter_with("service.recoveries", l),
+            recovery_failures: reg.counter_with("service.recovery_failures", l),
+            backoff_sleeps: reg.counter_with("service.backoff_sleeps", l),
+            mailbox_depth: reg.gauge_with("service.mailbox_depth", l),
+            queue_delay_us: reg.histogram_with("service.queue_delay_us", l),
+        }
+    }
+}
+
 /// State shared between the supervisor thread and every handle clone.
 pub(crate) struct Shared {
     id: SessionId,
@@ -146,7 +187,9 @@ pub(crate) struct Shared {
     latest: RwLock<Option<StateSnapshot>>,
     inflight: AtomicUsize,
     stats: Stats,
+    metrics: SessionMetrics,
     last_error: Mutex<Option<String>>,
+    recent_trace: Mutex<Vec<String>>,
 }
 
 impl Shared {
@@ -158,7 +201,9 @@ impl Shared {
             latest: RwLock::new(None),
             inflight: AtomicUsize::new(0),
             stats: Stats::default(),
+            metrics: SessionMetrics::new(id),
             last_error: Mutex::new(None),
+            recent_trace: Mutex::new(Vec::new()),
         }
     }
 
@@ -199,6 +244,80 @@ impl Shared {
         *lock(&self.last_error) = Some(reason);
     }
 
+    // The note_* methods feed the per-call [`Stats`] atomic and the
+    // registry counters (per-session label + service-wide aggregate)
+    // from the same increment, so the autopsy and the registry stay in
+    // lockstep by construction.
+
+    fn note_edit_ok(&self) {
+        self.stats.edits_ok.fetch_add(1, Ordering::Relaxed);
+        self.metrics.edits_ok.inc();
+        qtask_obs::counter!("service.edits_ok").inc();
+    }
+
+    fn note_edit_failed(&self) {
+        self.stats.edits_failed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.edits_failed.inc();
+        qtask_obs::counter!("service.edits_failed").inc();
+    }
+
+    fn note_shed(&self) {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.shed.inc();
+        qtask_obs::counter!("service.shed").inc();
+    }
+
+    fn note_timeout(&self) {
+        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.metrics.timeouts.inc();
+        qtask_obs::counter!("service.timeouts").inc();
+    }
+
+    fn note_recovery(&self) {
+        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.recoveries.inc();
+        qtask_obs::counter!("service.recoveries").inc();
+    }
+
+    fn note_recovery_failure(&self) {
+        self.stats.recovery_failures.fetch_add(1, Ordering::Relaxed);
+        self.metrics.recovery_failures.inc();
+        qtask_obs::counter!("service.recovery_failures").inc();
+    }
+
+    fn note_backoff_sleep(&self) {
+        self.metrics.backoff_sleeps.inc();
+        qtask_obs::counter!("service.backoff_sleeps").inc();
+    }
+
+    fn note_enqueued(&self) {
+        self.metrics.mailbox_depth.inc();
+        qtask_obs::gauge!("service.mailbox_depth").inc();
+    }
+
+    fn note_dequeued(&self, queued_for: Duration) {
+        self.metrics.mailbox_depth.dec();
+        qtask_obs::gauge!("service.mailbox_depth").dec();
+        let us = queued_for.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics.queue_delay_us.record(us);
+        qtask_obs::histogram!("service.queue_delay_us").record(us);
+    }
+
+    /// Captures the current thread's last trace events into the autopsy.
+    /// Called by the supervisor right after its writer loop died — the
+    /// supervisor thread *is* the writer thread, so its thread-local
+    /// ring holds the failure's immediate history. No-op without `obs`.
+    fn capture_recent_trace(&self) {
+        #[cfg(feature = "obs")]
+        {
+            let rendered: Vec<String> = qtask_obs::recent_thread_events(32)
+                .iter()
+                .map(qtask_obs::TraceEvent::render)
+                .collect();
+            *lock(&self.recent_trace) = rendered;
+        }
+    }
+
     fn report(&self) -> SessionReport {
         SessionReport {
             session: self.id,
@@ -212,6 +331,7 @@ impl Shared {
             breaker_tripped: self.stats.breaker_tripped.load(Ordering::Relaxed),
             last_error: lock(&self.last_error).clone(),
             last_version: self.version(),
+            recent_trace: lock(&self.recent_trace).clone(),
         }
     }
 }
@@ -236,6 +356,45 @@ pub(crate) enum Request {
     Close,
 }
 
+impl Request {
+    /// Trace span name for processing this request kind.
+    ///
+    /// Only evaluated when the `obs` feature is on (the span macro
+    /// compiles its argument away otherwise).
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    fn span_name(&self) -> &'static str {
+        match self {
+            Request::Edit { .. } => "session/edit",
+            Request::Sync { .. } => "session/sync",
+            Request::Inspect { .. } => "session/inspect",
+            Request::Close => "session/close",
+        }
+    }
+}
+
+/// What actually travels through the mailbox: the request plus its
+/// enqueue timestamp, so the writer can price enqueue→execute queueing
+/// delay. Lifecycle `Close` messages (manager close/drop) skip the
+/// depth/delay accounting — only client requests do backpressure.
+pub(crate) struct Envelope {
+    pub(crate) req: Request,
+    enqueued_at: Instant,
+}
+
+impl Envelope {
+    fn new(req: Request) -> Envelope {
+        Envelope {
+            req,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    /// A lifecycle close message (not counted as queue load).
+    pub(crate) fn close() -> Envelope {
+        Envelope::new(Request::Close)
+    }
+}
+
 /// RAII bracket for the per-session in-flight quota.
 struct QuotaGuard<'a> {
     shared: &'a Shared,
@@ -245,7 +404,7 @@ impl<'a> QuotaGuard<'a> {
     fn acquire(shared: &'a Shared, quota: usize) -> Result<QuotaGuard<'a>, ServiceError> {
         if shared.inflight.fetch_add(1, Ordering::AcqRel) >= quota {
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
-            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shared.note_shed();
             return Err(ServiceError::Rejected {
                 reason: format!("session {} in-flight quota of {quota} exhausted", shared.id),
             });
@@ -265,7 +424,7 @@ impl Drop for QuotaGuard<'_> {
 /// included) closes the session.
 #[derive(Clone)]
 pub struct SessionHandle {
-    pub(crate) tx: SyncSender<Request>,
+    pub(crate) tx: SyncSender<Envelope>,
     pub(crate) shared: Arc<Shared>,
     pub(crate) cfg: Arc<ServiceConfig>,
 }
@@ -408,23 +567,31 @@ impl SessionHandle {
         // Reply capacity 1: the writer's send never blocks, even when
         // the caller has already timed out and dropped the receiver.
         let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-        let mut req = make(reply_tx);
+        let mut env = Envelope::new(make(reply_tx));
         let mut backoff = BackoffSchedule::new(&self.cfg.retry, seed, deadline);
         loop {
-            match self.tx.try_send(req) {
-                Ok(()) => break,
+            match self.tx.try_send(env) {
+                Ok(()) => {
+                    self.shared.note_enqueued();
+                    break;
+                }
                 Err(TrySendError::Full(r)) => {
-                    req = r;
                     match backoff.next() {
-                        Some(delay) => std::thread::sleep(delay),
+                        Some(delay) => {
+                            self.shared.note_backoff_sleep();
+                            std::thread::sleep(delay);
+                        }
                         None => {
-                            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                            self.shared.note_shed();
                             return Err(ServiceError::Overloaded {
                                 session: self.shared.id,
                                 mailbox: self.cfg.mailbox_capacity,
                             });
                         }
                     }
+                    // Re-stamp: queueing delay is measured from the
+                    // send that actually succeeds.
+                    env = Envelope::new(r.req);
                 }
                 Err(TrySendError::Disconnected(_)) => return Err(self.terminal_error()),
             }
@@ -433,7 +600,7 @@ impl SessionHandle {
         match reply_rx.recv_timeout(remaining) {
             Ok(value) => Ok(value),
             Err(RecvTimeoutError::Timeout) => {
-                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.shared.note_timeout();
                 Err(ServiceError::Timeout {
                     session: self.shared.id,
                     waited: start.elapsed(),
@@ -463,7 +630,7 @@ enum LoopExit {
 /// dedicated thread ([`crate::SessionManager::open`] spawns it).
 pub(crate) struct Supervisor {
     pub(crate) ckt: Ckt,
-    pub(crate) rx: Receiver<Request>,
+    pub(crate) rx: Receiver<Envelope>,
     pub(crate) shared: Arc<Shared>,
     pub(crate) cfg: Arc<ServiceConfig>,
 }
@@ -500,6 +667,11 @@ impl Supervisor {
                 Ok(LoopExit::Poisoned(reason)) => reason,
                 Err(payload) => panic_text(payload.as_ref()),
             };
+            // The writer just died on this very thread: its last trace
+            // events are still in this thread's ring. Attach them to
+            // the autopsy before recovery overwrites the ring.
+            self.shared.capture_recent_trace();
+            qtask_obs::event!("session/quarantine");
             self.shared.note_error(reason);
             self.shared.set_state(SessionState::Quarantined);
             if !self.heal() {
@@ -513,6 +685,7 @@ impl Supervisor {
     /// false when the breaker trips ([`ServiceConfig::breaker_threshold`]
     /// consecutive failures within [`ServiceConfig::breaker_window`]).
     fn heal(&mut self) -> bool {
+        let _heal_span = qtask_obs::span!("session/heal");
         let mut failures = 0u32;
         let mut window_start = Instant::now();
         let mut backoff = BackoffSchedule::new(
@@ -523,7 +696,7 @@ impl Supervisor {
         loop {
             match attempt_recovery(&mut self.ckt) {
                 Ok(()) => {
-                    self.shared.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                    self.shared.note_recovery();
                     if let Some(snap) = self.ckt.latest_snapshot() {
                         self.shared.publish(snap);
                     }
@@ -531,10 +704,7 @@ impl Supervisor {
                     return true;
                 }
                 Err(e) => {
-                    self.shared
-                        .stats
-                        .recovery_failures
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.note_recovery_failure();
                     self.shared.note_error(e.to_string());
                     if window_start.elapsed() > self.cfg.breaker_window {
                         failures = 0;
@@ -561,12 +731,17 @@ impl Supervisor {
             .stats
             .breaker_tripped
             .store(true, Ordering::Relaxed);
+        qtask_obs::counter!("service.breaker_tripped").inc();
+        qtask_obs::event!("session/breaker_trip");
         self.shared.set_state(SessionState::Failed);
         let failed = ServiceError::SessionFailed {
             session: self.shared.id,
         };
-        for req in self.rx.try_iter() {
-            match req {
+        for env in self.rx.try_iter() {
+            if !matches!(env.req, Request::Close) {
+                self.shared.note_dequeued(env.enqueued_at.elapsed());
+            }
+            match env.req {
                 Request::Edit { reply, .. } => {
                     let _ = reply.send(Err(failed.clone()));
                 }
@@ -575,6 +750,9 @@ impl Supervisor {
                 Request::Sync { .. } | Request::Inspect { .. } | Request::Close => {}
             }
         }
+        // Requests that never get consumed (the mailbox dies with this
+        // thread) must not leave the depth gauge dangling.
+        self.shared.metrics.mailbox_depth.set(0);
     }
 }
 
@@ -606,14 +784,18 @@ fn attempt_recovery(ckt: &mut Ckt) -> Result<(), ServiceError> {
 /// panicking client closure, engine bug) drops the in-flight request —
 /// its caller observes [`ServiceError::SessionPoisoned`] — and routes to
 /// the quarantine path.
-fn writer_loop(ckt: &mut Ckt, rx: &Receiver<Request>, shared: &Shared) -> LoopExit {
+fn writer_loop(ckt: &mut Ckt, rx: &Receiver<Envelope>, shared: &Shared) -> LoopExit {
     loop {
-        let req = match rx.recv() {
+        let env = match rx.recv() {
             Ok(r) => r,
             Err(_) => return LoopExit::Closed,
         };
+        if !matches!(env.req, Request::Close) {
+            shared.note_dequeued(env.enqueued_at.elapsed());
+        }
+        let _req_span = qtask_obs::span!(env.req.span_name());
         qtask_faults::fault_point!("service/writer");
-        match req {
+        match env.req {
             Request::Close => return LoopExit::Closed,
             Request::Sync { reply } => {
                 let _ = reply.send(shared.version());
@@ -623,11 +805,11 @@ fn writer_loop(ckt: &mut Ckt, rx: &Receiver<Request>, shared: &Shared) -> LoopEx
             }
             Request::Edit { op, reply } => match apply_edit(ckt, op, shared) {
                 Ok(outcome) => {
-                    shared.stats.edits_ok.fetch_add(1, Ordering::Relaxed);
+                    shared.note_edit_ok();
                     let _ = reply.send(Ok(outcome));
                 }
                 Err(e) => {
-                    shared.stats.edits_failed.fetch_add(1, Ordering::Relaxed);
+                    shared.note_edit_failed();
                     if ckt.is_poisoned() {
                         let reason = ckt.poison_reason().unwrap_or("engine poisoned").to_string();
                         let _ = reply.send(Err(ServiceError::SessionPoisoned {

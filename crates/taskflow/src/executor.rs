@@ -398,7 +398,10 @@ fn find_work(inner: &Inner, local: &WorkerDeque<Job>, my_idx: usize) -> Option<J
         }
         loop {
             match st.steal() {
-                Steal::Success(j) => return Some(j),
+                Steal::Success(j) => {
+                    qtask_obs::counter!("taskflow.steals").inc();
+                    return Some(j);
+                }
                 Steal::Retry => continue,
                 Steal::Empty => break,
             }
@@ -429,6 +432,7 @@ fn worker_loop(inner: Arc<Inner>, local: WorkerDeque<Job>, idx: usize) {
         if inner.sleep.epoch.load(Ordering::SeqCst) == observed
             && !inner.shutdown.load(Ordering::Acquire)
         {
+            qtask_obs::counter!("taskflow.parks").inc();
             inner.sleep.cv.wait(&mut guard);
         }
         inner.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -446,6 +450,8 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
     let node = unsafe { &*job.0 };
     let ctx = unsafe { &*node.ctx };
     inner.tasks_run.fetch_add(1, Ordering::Relaxed);
+    qtask_obs::counter!("taskflow.tasks_run").inc();
+    let task_span = qtask_obs::span!(Arc::clone(&node.name));
     let observer = if inner.has_observer.load(Ordering::Acquire) {
         inner.observer.read().clone()
     } else {
@@ -508,6 +514,7 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
             }
         }
     }
+    drop(task_span);
     if let Some(o) = &observer {
         notify(
             o,

@@ -69,6 +69,7 @@
 //! | [`circuit`] | `qtask-circuit` | net-structured circuit IR |
 //! | [`gates`] | `qtask-gates` | standard gate database |
 //! | [`num`] | `qtask-num` | complex numbers, small unitaries |
+//! | [`obs`] | `qtask-obs` | metrics registry, tracing spans, Chrome export |
 //! | [`partition`] | `qtask-partition` | block partitioning math |
 //! | [`taskflow`] | `qtask-taskflow` | work-stealing DAG executor |
 //! | [`qasm`] | `qtask-qasm` | OpenQASM 2.0 parser/writer |
@@ -82,6 +83,7 @@ pub use qtask_circuit as circuit;
 pub use qtask_core as core;
 pub use qtask_gates as gates;
 pub use qtask_num as num;
+pub use qtask_obs as obs;
 pub use qtask_partition as partition;
 pub use qtask_qasm as qasm;
 pub use qtask_service as service;
@@ -100,6 +102,7 @@ pub mod prelude {
     };
     pub use qtask_gates::{GateClass, GateKind};
     pub use qtask_num::{c64, Complex64};
+    pub use qtask_obs::{MetricsSnapshot, NoopSpan, SpanGuard, TraceSink};
     pub use qtask_service::{
         EditOutcome, ServiceConfig, ServiceError, SessionHandle, SessionId, SessionManager,
         SessionReport, SessionState,

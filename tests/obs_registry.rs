@@ -1,0 +1,182 @@
+//! Tier-1 observability tests that run in the default build: the
+//! always-on metrics registry must be exact under contention, and the
+//! service layer's per-call reports must agree with the registry's
+//! per-session labeled counters (they are fed from the same sites, so
+//! any drift is a routing bug).
+//!
+//! The engine-report drift test lives in its own binary
+//! (`obs_report_drift.rs`): the registry is process-global, and the
+//! service soak here drives engine updates that would pollute `core.*`
+//! deltas measured in parallel.
+
+use qtask::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic per-thread value stream (no RNG state shared across
+/// threads, so the expected histogram sum is computable up front).
+fn lcg_stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) % 4096
+        })
+        .collect()
+}
+
+/// N threads hammer one counter, one gauge, and one histogram; nothing
+/// may be lost, and snapshots taken mid-flight must be monotonic (a
+/// coherent read of sharded counters can lag, but never run backwards).
+#[test]
+fn hammered_metrics_lose_nothing_and_snapshots_are_monotonic() {
+    const THREADS: usize = 8;
+    const OPS: usize = 20_000;
+    let streams: Vec<Vec<u64>> = (0..THREADS as u64)
+        .map(|t| lcg_stream(0x5EED + t, OPS))
+        .collect();
+    let expected_sum: u64 = streams.iter().flatten().sum();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_count = 0u64;
+            let mut last_hist = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = qtask_obs::snapshot();
+                let c = snap.counter("test.hammer.count").unwrap_or(0);
+                assert!(c >= last_count, "counter ran backwards: {c} < {last_count}");
+                last_count = c;
+                if let Some(h) = snap.histogram("test.hammer.value") {
+                    // Bucket/count increments are separate atomics, so a
+                    // mid-record snapshot may be off by the in-flight
+                    // records — but never backwards.
+                    assert!(h.count >= last_hist, "histogram count ran backwards");
+                    last_hist = h.count;
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let workers: Vec<_> = streams
+        .into_iter()
+        .map(|stream| {
+            std::thread::spawn(move || {
+                let count = qtask_obs::registry().counter("test.hammer.count");
+                let value = qtask_obs::registry().histogram("test.hammer.value");
+                let depth = qtask_obs::registry().gauge("test.hammer.depth");
+                for v in stream {
+                    count.inc();
+                    depth.inc();
+                    value.record(v);
+                    depth.dec();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    watcher.join().unwrap();
+
+    let snap = qtask_obs::snapshot();
+    assert_eq!(
+        snap.counter("test.hammer.count"),
+        Some((THREADS * OPS) as u64),
+        "lost counter increments"
+    );
+    assert_eq!(snap.gauge("test.hammer.depth"), Some(0));
+    let h = snap.histogram("test.hammer.value").unwrap();
+    assert_eq!(h.count, (THREADS * OPS) as u64, "lost histogram records");
+    assert_eq!(h.sum, expected_sum, "histogram sum drifted");
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        h.count,
+        "at rest, buckets must sum to the count"
+    );
+    assert!(h.quantile(1.0) >= h.quantile(0.5));
+}
+
+/// The per-session labeled counters and the [`SessionReport`] are fed
+/// from the same sites, so after a soak they must agree exactly — and
+/// every counter the report surfaces must appear in both expositions.
+#[test]
+fn session_report_counters_match_registry_and_exposition() {
+    let mgr = SessionManager::new(
+        ServiceConfig::default()
+            .with_threads(1)
+            .with_default_deadline(Duration::from_secs(30)),
+    );
+    let h = mgr.open(5, qtask::core::SimConfig::default()).unwrap();
+    let id = h.id();
+    for q in 0..4u8 {
+        h.edit(move |tx| {
+            let net = tx.push_net();
+            tx.insert_gate(GateKind::H, net, &[q]).map(|_| ())
+        })
+        .unwrap();
+    }
+    // One failed edit: two gates on one qubit in a net.
+    let err = h.edit(|tx| {
+        let net = tx.push_net();
+        tx.insert_gate(GateKind::H, net, &[0])?;
+        tx.insert_gate(GateKind::X, net, &[0]).map(|_| ())
+    });
+    assert!(err.is_err());
+    let report = mgr.close(id).unwrap();
+
+    let snap = qtask_obs::snapshot();
+    let labeled = |name: &str| {
+        let key = format!("{name}{{session=\"{}\"}}", id.0);
+        snap.counter(&key)
+            .unwrap_or_else(|| panic!("registry is missing {key}"))
+    };
+    assert_eq!(report.edits_ok, 4);
+    assert_eq!(labeled("service.edits_ok"), report.edits_ok);
+    assert_eq!(labeled("service.edits_failed"), report.edits_failed);
+    assert_eq!(labeled("service.shed"), report.shed);
+    assert_eq!(labeled("service.timeouts"), report.timeouts);
+    assert_eq!(labeled("service.recoveries"), report.recoveries);
+    assert_eq!(
+        labeled("service.recovery_failures"),
+        report.recovery_failures
+    );
+    // Queueing-delay histogram saw every dequeued client request.
+    let delays = snap
+        .histogram(&format!("service.queue_delay_us{{session=\"{}\"}}", id.0))
+        .expect("queue delay histogram");
+    assert!(delays.count >= report.edits_ok + report.edits_failed);
+    // The mailbox gauge must return to level once the session is closed.
+    assert_eq!(
+        snap.gauge(&format!("service.mailbox_depth{{session=\"{}\"}}", id.0)),
+        Some(0)
+    );
+
+    // Exposition coverage: every counter the report surfaces shows up in
+    // both the JSON and the Prometheus text renderings.
+    let json = snap.to_json();
+    let prom = snap.to_prometheus();
+    for name in [
+        "service.edits_ok",
+        "service.edits_failed",
+        "service.shed",
+        "service.timeouts",
+        "service.recoveries",
+        "service.recovery_failures",
+        "service.queue_delay_us",
+        "service.mailbox_depth",
+    ] {
+        assert!(json.contains(name), "JSON exposition is missing {name}");
+        let prom_name = format!("qtask_{}", name.replace('.', "_"));
+        assert!(
+            prom.contains(&prom_name),
+            "Prometheus exposition is missing {prom_name}"
+        );
+    }
+}

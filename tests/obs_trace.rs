@@ -1,0 +1,93 @@
+//! Tracing end-to-end (requires `--features obs`): a service-soak-style
+//! run with a writer kill must drain to a valid Chrome trace with
+//! properly nested begin/end pairs across engine phases, executor
+//! tasks, and session-writer requests — and the quarantined session's
+//! autopsy must carry the writer's final trace events.
+//!
+//! Everything lives in ONE test: the trace rings are process-global,
+//! and a sibling test draining them mid-span would race this one.
+#![cfg(feature = "obs")]
+
+use qtask::obs::{validate_chrome_trace, TraceSink};
+use qtask::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn soak_trace_exports_valid_nested_chrome_json() {
+    qtask::obs::set_trace_enabled(true);
+    TraceSink::clear_all();
+
+    let mgr = SessionManager::new(
+        ServiceConfig::default()
+            .with_threads(2)
+            .with_default_deadline(Duration::from_secs(30)),
+    );
+    let sessions: Vec<SessionHandle> = (0..2)
+        .map(|_| mgr.open(5, qtask::core::SimConfig::default()).unwrap())
+        .collect();
+    for (i, h) in sessions.iter().enumerate() {
+        for q in 0..3u8 {
+            let q = (q + i as u8) % 5;
+            h.edit(move |tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::H, net, &[q]).map(|_| ())
+            })
+            .unwrap();
+        }
+        let _ = h.snapshot().unwrap();
+    }
+    // Kill one writer mid-request: the panic unwinds through the open
+    // request span, the watchdog quarantines, heals, and captures the
+    // writer's final ring contents into the report.
+    let killed = sessions[0].id();
+    let err = sessions[0].edit(|_| -> Result<(), CircuitError> { panic!("injected writer kill") });
+    assert!(err.is_err());
+    // A post-recovery edit proves the session still traces.
+    sessions[0]
+        .edit(|tx| {
+            let net = tx.push_net();
+            tx.insert_gate(GateKind::X, net, &[4]).map(|_| ())
+        })
+        .unwrap();
+    let reports = mgr.shutdown();
+    let report = reports.iter().find(|r| r.session == killed).unwrap();
+    assert!(report.recoveries >= 1, "writer kill must have recovered");
+    assert!(
+        !report.recent_trace.is_empty(),
+        "quarantine must capture the writer's final trace events"
+    );
+    assert!(
+        report
+            .recent_trace
+            .iter()
+            .any(|l| l.contains("session/edit")),
+        "autopsy should show the fatal request span: {:?}",
+        report.recent_trace
+    );
+
+    // Drain everything recorded process-wide and export.
+    let sink = TraceSink::drain();
+    assert!(!sink.is_empty());
+    let chrome = sink.export_chrome();
+    let stats = validate_chrome_trace(&chrome).expect("chrome trace must validate");
+    assert!(stats.spans > 0);
+    // The three layers the tracing threads through must all be present.
+    for name in ["update", "update/build", "update/snapshot", "session/edit"] {
+        assert!(
+            stats.names.contains(name),
+            "trace is missing span '{name}'; saw {:?}",
+            stats.names
+        );
+    }
+    // Executor task spans are named after their nodes (engine partitions
+    // or sync tasks) — anything that isn't one of the fixed span names
+    // proves per-task spans flowed through.
+    assert!(
+        stats
+            .names
+            .iter()
+            .any(|n| !n.starts_with("update") && !n.starts_with("session") && n != "recover"),
+        "no executor task spans in {:?}",
+        stats.names
+    );
+}
