@@ -1,0 +1,185 @@
+//! Write-path flatness: the cost of a constant-size edit as circuit
+//! depth grows.
+//!
+//! The retained task graph, journaled staging overlay, and owner-index
+//! coverage scan together promise that staging + graph maintenance for
+//! an edit is O(|edit| + |dirty|) — never O(depth). This bench measures
+//! exactly that: a one-net tail toggle (insert + update, remove +
+//! update) against chains of growing depth, reporting
+//!
+//! * `stage_us`  — wall time of the `Ckt::edit` journal batch (validate
+//!   on the overlay + replay onto the engine),
+//! * `build_us`  — `UpdateReport::build_elapsed` (dirty-set derivation +
+//!   retained-graph patching, serial),
+//! * `graph_nodes_patched` / `staged_ops` — the structural counters,
+//!   which must be depth-independent for the flat-time claim to be
+//!   structural rather than accidental.
+//!
+//! A second series edits the *front* of the chain: the dirty cone then
+//! spans the whole circuit, and `graph_nodes_reused` shows the retained
+//! graph re-running veteran nodes instead of rebuilding them.
+//!
+//! Writes `BENCH_edit_pipeline.json` at the workspace root.
+
+use qtask_bench::*;
+use qtask_core::{Ckt, SimConfig, UpdateReport};
+use qtask_gates::GateKind;
+use std::time::Instant;
+
+const DEPTHS: [usize; 4] = [256, 512, 1024, 2048];
+const NUM_QUBITS: u8 = 10;
+
+/// Deterministic linear-gate cycle: every row is one gate, so "depth" is
+/// exactly the row count. Length 8 divides every benched depth, keeping
+/// the tail coverage window identical across depths.
+fn cycle_gate(i: usize) -> (GateKind, Vec<u8>) {
+    match i % 8 {
+        0 => (GateKind::X, vec![0]),
+        1 => (GateKind::T, vec![1]),
+        2 => (GateKind::S, vec![2]),
+        3 => (GateKind::Z, vec![3]),
+        4 => (GateKind::X, vec![4]),
+        5 => (GateKind::Cx, vec![1, 3]),
+        6 => (GateKind::T, vec![0]),
+        _ => (GateKind::Swap, vec![2, 4]),
+    }
+}
+
+fn chain(depth: usize, threads: usize) -> (Ckt, qtask_circuit::NetId) {
+    let cfg = SimConfig {
+        num_threads: threads,
+        ..SimConfig::default()
+    };
+    let mut ckt = Ckt::with_config(NUM_QUBITS, cfg);
+    let first = ckt.push_net();
+    ckt.insert_gate(GateKind::H, first, &[0]).unwrap();
+    for i in 0..depth {
+        let (kind, qubits) = cycle_gate(i);
+        let net = ckt.push_net();
+        ckt.insert_gate(kind, net, &qubits).unwrap();
+    }
+    ckt.update_state().unwrap();
+    (ckt, first)
+}
+
+struct TailSample {
+    stage_us: f64,
+    build_us: f64,
+    patched: usize,
+    staged: usize,
+}
+
+/// One constant-size tail toggle; returns staging time, build-phase
+/// time, and the structural counters summed over the insert + remove
+/// halves.
+fn tail_toggle(ckt: &mut Ckt) -> TailSample {
+    let t0 = Instant::now();
+    let (net, r_in) = ckt
+        .edit(|tx| {
+            let net = tx.push_net();
+            tx.insert_gate(GateKind::X, net, &[0])?;
+            Ok(net)
+        })
+        .unwrap();
+    let stage_in = t0.elapsed();
+    let rep1 = ckt.update_state().unwrap();
+    let t1 = Instant::now();
+    let ((), r_out) = ckt.edit(|tx| tx.remove_net(net).map(|_| ())).unwrap();
+    let stage_out = t1.elapsed();
+    let rep2 = ckt.update_state().unwrap();
+    assert_eq!(rep1.staged_ops, r_in.ops_applied);
+    assert_eq!(rep2.staged_ops, r_out.ops_applied);
+    TailSample {
+        stage_us: (stage_in + stage_out).as_secs_f64() * 1e6,
+        build_us: (rep1.build_elapsed + rep2.build_elapsed).as_secs_f64() * 1e6,
+        patched: rep1.graph_nodes_patched + rep2.graph_nodes_patched,
+        staged: rep1.staged_ops + rep2.staged_ops,
+    }
+}
+
+/// One front toggle (insert Z into the first net, update, remove it,
+/// update): the first update's report shows the whole-circuit dirty cone
+/// re-running through retained nodes.
+fn front_toggle(ckt: &mut Ckt, first: qtask_circuit::NetId) -> UpdateReport {
+    let (gid, _) = ckt
+        .edit(|tx| tx.insert_gate(GateKind::Z, first, &[1]))
+        .unwrap();
+    let report = ckt.update_state().unwrap();
+    ckt.edit(|tx| tx.remove_gate(gid)).unwrap();
+    ckt.update_state().unwrap();
+    report
+}
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    let reps = opts.reps.max(3);
+    println!(
+        "Edit-pipeline flatness — constant-size edits vs depth \
+         ({NUM_QUBITS} qubits, {} threads, median of {reps})",
+        opts.threads
+    );
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>9} {:>7}",
+        "depth", "stage µs", "build µs", "patched", "staged"
+    );
+    let mut tail_rows = Vec::new();
+    let mut front_rows = Vec::new();
+    for depth in DEPTHS {
+        let (mut ckt, first) = chain(depth, opts.threads);
+        // Warm: scratch, pools, and arena free lists reach steady state.
+        tail_toggle(&mut ckt);
+        tail_toggle(&mut ckt);
+        let mut samples: Vec<TailSample> = (0..reps).map(|_| tail_toggle(&mut ckt)).collect();
+        let mut stages: Vec<f64> = samples.iter().map(|s| s.stage_us).collect();
+        stages.sort_by(f64::total_cmp);
+        let stage_us = stages[stages.len() / 2];
+        samples.sort_by(|a, b| a.build_us.total_cmp(&b.build_us));
+        let mid = &samples[samples.len() / 2];
+        // The structural counters are deterministic across reps.
+        assert!(samples.iter().all(|s| s.patched == mid.patched));
+        assert!(samples.iter().all(|s| s.staged == mid.staged));
+        println!(
+            "{depth:>6} {stage_us:>10.1} {:>10.1} {:>9} {:>7}",
+            mid.build_us, mid.patched, mid.staged
+        );
+        tail_rows.push(format!(
+            "{{\"depth\": {depth}, \"stage_us\": {stage_us:.1}, \"build_us\": {:.1}, \
+             \"graph_nodes_patched\": {}, \"staged_ops\": {}}}",
+            mid.build_us, mid.patched, mid.staged
+        ));
+
+        front_toggle(&mut ckt, first);
+        let report = front_toggle(&mut ckt, first);
+        front_rows.push(format!(
+            "{{\"depth\": {depth}, \"partitions_executed\": {}, \"graph_nodes_reused\": {}, \
+             \"graph_nodes_patched\": {}, \"build_us\": {:.1}}}",
+            report.partitions_executed,
+            report.graph_nodes_reused,
+            report.graph_nodes_patched,
+            report.build_elapsed.as_secs_f64() * 1e6
+        ));
+    }
+    println!(
+        "\nfront-edit reuse: a whole-circuit dirty cone re-runs retained nodes \
+         (reused ≈ executed), patching only the edit."
+    );
+    for (depth, row) in DEPTHS.iter().zip(&front_rows) {
+        println!("  depth {depth:>5}: {row}");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"edit_pipeline\",\n  \"series\": {{\n    \"tail_edit\": [\n{}\n    \
+         ],\n    \"front_edit\": [\n{}\n    ]\n  }}\n}}\n",
+        tail_rows
+            .iter()
+            .map(|r| format!("      {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        front_rows
+            .iter()
+            .map(|r| format!("      {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    write_bench_json("BENCH_edit_pipeline.json", &json);
+}

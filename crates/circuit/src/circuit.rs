@@ -4,7 +4,7 @@
 use crate::error::CircuitError;
 use crate::gate::Gate;
 use qtask_gates::GateKind;
-use qtask_util::{define_key, Arena, LinkedArena};
+use qtask_util::{define_key, Arena, IdPredictor, LinkedArena};
 
 define_key! {
     /// Stable handle to a net.
@@ -189,6 +189,28 @@ impl Circuit {
         net_ref.gate_ids.retain(|id| *id != gate);
         net_ref.occupied &= !g.qubit_mask();
         Ok(g)
+    }
+
+    // ---- staging hooks ---------------------------------------------------
+    // `crate::txn` predicts the ids a later replay of staged ops will
+    // allocate without cloning the circuit; the predictors walk the same
+    // LIFO free chains the replay will pop. Valid until the circuit is
+    // mutated — `StagedBatch` guarantees that by holding `&Circuit`.
+
+    pub(crate) fn gate_predictor(&self) -> IdPredictor {
+        self.gates.predictor()
+    }
+
+    pub(crate) fn net_predictor(&self) -> IdPredictor {
+        self.nets.predictor()
+    }
+
+    pub(crate) fn predict_gate_insert(&self, p: &mut IdPredictor) -> GateId {
+        GateId(p.predict_insert(&self.gates))
+    }
+
+    pub(crate) fn predict_net_insert(&self, p: &mut IdPredictor) -> NetId {
+        NetId(self.nets.predict_insert(p))
     }
 
     // ---- queries ---------------------------------------------------------

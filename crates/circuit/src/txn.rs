@@ -1,26 +1,41 @@
 //! Staged circuit edits: the all-or-nothing building block behind the
 //! engine's transactional `edit` API.
 //!
-//! A [`StagedBatch`] records modifiers against a **shadow clone** of the
-//! circuit instead of the circuit itself. Every staged call is validated
-//! immediately (stale handles, qubit ranges, intra-net conflicts fail
-//! right here, with the usual [`CircuitError`]), but the original circuit
-//! is never touched — a failed batch is simply dropped.
+//! A [`StagedBatch`] records modifiers in a **journal overlay** over a
+//! borrowed base circuit instead of mutating it — or cloning it, which
+//! is what this module did before the overlay landed and what made every
+//! transaction cost O(circuit) regardless of its size. Every staged call
+//! validates immediately against the *effective* circuit (the base plus
+//! all earlier staged ops), returning the same [`CircuitError`]s the
+//! direct modifiers raise; the base itself is never touched, so a failed
+//! batch is simply dropped and staging a batch costs O(ops staged), not
+//! O(gates in the circuit).
+//!
+//! The overlay is three small maps keyed by handle: gates added by the
+//! batch, gates deleted by the batch, and per-net deltas (occupancy bits
+//! added/cleared plus the net's staged gate list). A query reads the
+//! overlay first and falls through to the base; a modifier validates
+//! against that merged view and appends to the journal.
 //!
 //! # Id determinism
 //!
 //! The ids a staged call returns are not provisional: they are exactly
-//! the ids the same operation sequence produces when later replayed on
-//! the original circuit. This holds because [`Circuit`] allocates handles
-//! from generational arenas whose free lists are LIFO and cloned
-//! verbatim, so a clone replays id allocation deterministically. Callers
-//! can therefore capture staged [`GateId`]s/[`NetId`]s and use them
-//! directly after the batch commits.
+//! the ids the same op sequence produces when later replayed on the
+//! base. [`Circuit`] allocates handles from generational arenas whose
+//! free lists are LIFO, so allocation is a pure function of the arena's
+//! free chain and the op sequence — an [`qtask_util::IdPredictor`] walks
+//! that chain read-only and replays the LIFO discipline for slots the
+//! batch itself frees. Callers can therefore capture staged
+//! [`GateId`]s/[`NetId`]s and use them directly after the batch commits.
+//! The `#[cfg(test)]` `ShadowBatch` — the old clone-based stager —
+//! stays behind as the property-test oracle for exactly this guarantee.
 
 use crate::circuit::{Circuit, GateId, NetId};
 use crate::error::CircuitError;
 use crate::gate::Gate;
 use qtask_gates::GateKind;
+use qtask_util::IdPredictor;
+use std::collections::{HashMap, HashSet};
 
 /// One staged circuit modifier, in the order it was issued.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,31 +62,61 @@ pub enum EditOp {
     RemoveGate(GateId),
 }
 
-/// An ordered batch of circuit modifiers staged against a shadow clone.
+/// Per-net overlay state: what this batch has done to one net.
+#[derive(Clone, Debug, Default)]
+struct NetDelta {
+    /// Qubit bits claimed by gates this batch added to the net.
+    occ_add: u64,
+    /// Qubit bits released by base gates this batch removed from the net.
+    occ_del: u64,
+    /// Base gates this batch removed from the net.
+    removed: usize,
+    /// Gates this batch added to the net, in insertion order.
+    added_gates: Vec<GateId>,
+}
+
+/// An ordered batch of circuit modifiers journaled over a borrowed base.
 ///
 /// Build one with [`StagedBatch::new`], issue modifiers through the
 /// methods below (each validates eagerly and returns real ids — see the
 /// module docs), then hand [`StagedBatch::into_ops`] to whoever owns the
-/// original circuit for replay. Dropping the batch aborts it.
-pub struct StagedBatch {
-    shadow: Circuit,
+/// base circuit for replay. Dropping the batch aborts it.
+pub struct StagedBatch<'c> {
+    base: &'c Circuit,
     ops: Vec<EditOp>,
+    gate_pred: IdPredictor,
+    net_pred: IdPredictor,
+    /// Gates staged by this batch, with their destination net.
+    added_gates: HashMap<GateId, (Gate, NetId)>,
+    /// Base gates deleted by this batch (directly or via net removal).
+    removed_gates: HashSet<GateId>,
+    /// Nets staged by this batch (their deltas live in `net_deltas`).
+    added_nets: HashSet<NetId>,
+    /// Base nets deleted by this batch.
+    removed_nets: HashSet<NetId>,
+    net_deltas: HashMap<NetId, NetDelta>,
 }
 
-impl StagedBatch {
-    /// Starts a batch against a shadow clone of `circuit`.
-    pub fn new(circuit: &Circuit) -> StagedBatch {
+impl<'c> StagedBatch<'c> {
+    /// Starts a batch over `circuit`. O(1): nothing is cloned.
+    pub fn new(circuit: &'c Circuit) -> StagedBatch<'c> {
         StagedBatch {
-            shadow: circuit.clone(),
+            base: circuit,
             ops: Vec::new(),
+            gate_pred: circuit.gate_predictor(),
+            net_pred: circuit.net_predictor(),
+            added_gates: HashMap::new(),
+            removed_gates: HashSet::new(),
+            added_nets: HashSet::new(),
+            removed_nets: HashSet::new(),
+            net_deltas: HashMap::new(),
         }
     }
 
-    /// The shadow circuit: the original plus every staged op so far.
-    /// Read-only — queries here let a caller inspect the would-be state
-    /// mid-batch.
-    pub fn shadow(&self) -> &Circuit {
-        &self.shadow
+    /// The base circuit the batch is journaled over (as it was when the
+    /// batch started — the overlay queries below merge in staged ops).
+    pub fn base(&self) -> &'c Circuit {
+        self.base
     }
 
     /// Ops staged so far, in issue order.
@@ -94,44 +139,273 @@ impl StagedBatch {
         self.ops
     }
 
+    // ---- effective-view queries ----------------------------------------
+
+    /// Number of qubits (staging never changes it).
+    pub fn num_qubits(&self) -> u8 {
+        self.base.num_qubits()
+    }
+
+    /// The gate behind `id` in the effective circuit, if live.
+    pub fn gate(&self, id: GateId) -> Option<Gate> {
+        if let Some((g, _)) = self.added_gates.get(&id) {
+            return Some(*g);
+        }
+        if self.removed_gates.contains(&id) {
+            return None;
+        }
+        self.base.gate(id).copied()
+    }
+
+    /// The net a live gate belongs to in the effective circuit.
+    pub fn gate_net(&self, id: GateId) -> Option<NetId> {
+        if let Some((_, net)) = self.added_gates.get(&id) {
+            return Some(*net);
+        }
+        if self.removed_gates.contains(&id) {
+            return None;
+        }
+        self.base.gate_net(id)
+    }
+
+    /// True if `net` is live in the effective circuit.
+    pub fn contains_net(&self, net: NetId) -> bool {
+        self.net_is_live(net)
+    }
+
+    /// Number of gates of `net` in the effective circuit, if live.
+    pub fn net_len(&self, net: NetId) -> Option<usize> {
+        if !self.net_is_live(net) {
+            return None;
+        }
+        let base_len = self.base.net(net).map(|n| n.len()).unwrap_or(0);
+        let (removed, added) = match self.net_deltas.get(&net) {
+            Some(d) => (d.removed, d.added_gates.len()),
+            None => (0, 0),
+        };
+        Some(base_len - removed + added)
+    }
+
+    /// Occupied-qubit mask of `net` in the effective circuit, if live.
+    pub fn net_occupied_mask(&self, net: NetId) -> Option<u64> {
+        if !self.net_is_live(net) {
+            return None;
+        }
+        Some(self.effective_occupied(net))
+    }
+
+    fn net_is_live(&self, net: NetId) -> bool {
+        self.added_nets.contains(&net)
+            || (!self.removed_nets.contains(&net) && self.base.net(net).is_some())
+    }
+
+    /// Merged occupancy: base bits minus staged removals, plus staged
+    /// additions. Sound because a net's live gates are qubit-disjoint, so
+    /// every bit is owned by exactly one gate.
+    fn effective_occupied(&self, net: NetId) -> u64 {
+        // A staged net's id never resolves in the base (fresh index, or a
+        // reused slot whose generation was bumped), so this reads 0 there.
+        let base_occ = self.base.net(net).map(|n| n.occupied_mask()).unwrap_or(0);
+        match self.net_deltas.get(&net) {
+            Some(d) => (base_occ & !d.occ_del) | d.occ_add,
+            None => base_occ,
+        }
+    }
+
+    fn delta(&mut self, net: NetId) -> &mut NetDelta {
+        self.net_deltas.entry(net).or_default()
+    }
+
+    // ---- modifiers -----------------------------------------------------
+
     /// Stages an empty net at the front.
     pub fn insert_net_front(&mut self) -> NetId {
-        let id = self.shadow.insert_net_front();
+        let id = self.base.predict_net_insert(&mut self.net_pred);
+        self.added_nets.insert(id);
         self.ops.push(EditOp::InsertNetFront);
         id
     }
 
     /// Stages an empty net at the back.
     pub fn push_net(&mut self) -> NetId {
-        let id = self.shadow.push_net();
+        let id = self.base.predict_net_insert(&mut self.net_pred);
+        self.added_nets.insert(id);
         self.ops.push(EditOp::PushNet);
         id
     }
 
     /// Stages an empty net right after `after`.
     pub fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
-        let id = self.shadow.insert_net_after(after)?;
+        if !self.net_is_live(after) {
+            return Err(CircuitError::StaleNet);
+        }
+        let id = self.base.predict_net_insert(&mut self.net_pred);
+        self.added_nets.insert(id);
         self.ops.push(EditOp::InsertNetAfter(after));
         Ok(id)
     }
 
     /// Stages an empty net right before `before`.
     pub fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
-        let id = self.shadow.insert_net_before(before)?;
+        if !self.net_is_live(before) {
+            return Err(CircuitError::StaleNet);
+        }
+        let id = self.base.predict_net_insert(&mut self.net_pred);
+        self.added_nets.insert(id);
         self.ops.push(EditOp::InsertNetBefore(before));
         Ok(id)
     }
 
     /// Stages the removal of a net and all its gates.
     pub fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
-        self.shadow.remove_net(net)?;
+        if !self.net_is_live(net) {
+            return Err(CircuitError::StaleNet);
+        }
+        self.net_pred.predict_remove(net.key());
+        let delta = self.net_deltas.remove(&net).unwrap_or_default();
+        // Replay order on commit: the net's gate vector at removal time is
+        // the surviving base gates (in base order — `remove_gate` uses
+        // `retain`) followed by staged additions. Predict slot frees in
+        // exactly that order so the LIFO free chain lines up.
+        if !self.added_nets.remove(&net) {
+            self.removed_nets.insert(net);
+            let base = self.base;
+            for gid in base.net(net).expect("live base net").gates() {
+                if self.removed_gates.insert(*gid) {
+                    self.gate_pred.predict_remove(gid.key());
+                }
+            }
+        }
+        for gid in delta.added_gates {
+            self.added_gates.remove(&gid);
+            self.gate_pred.predict_remove(gid.key());
+        }
         self.ops.push(EditOp::RemoveNet(net));
         Ok(())
     }
 
     /// Stages a gate insertion, validating range and net-conflict rules
-    /// against the shadow (which already reflects earlier staged ops).
+    /// against the effective circuit (which already reflects earlier
+    /// staged ops). Validation order matches [`Circuit::insert_gate`].
     pub fn insert_gate(
+        &mut self,
+        kind: GateKind,
+        net: NetId,
+        qubits: &[u8],
+    ) -> Result<GateId, CircuitError> {
+        let num_qubits = self.base.num_qubits();
+        for &q in qubits {
+            if q >= num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits,
+                });
+            }
+        }
+        let gate = Gate::new(kind, qubits);
+        if !self.net_is_live(net) {
+            return Err(CircuitError::StaleNet);
+        }
+        let occupied = self.effective_occupied(net);
+        let mask = gate.qubit_mask();
+        if occupied & mask != 0 {
+            let qubit = (occupied & mask).trailing_zeros() as u8;
+            return Err(CircuitError::NetConflict { qubit });
+        }
+        let gid = self.base.predict_gate_insert(&mut self.gate_pred);
+        let d = self.delta(net);
+        d.occ_add |= mask;
+        d.added_gates.push(gid);
+        self.added_gates.insert(gid, (gate, net));
+        self.ops.push(EditOp::InsertGate { net, gate });
+        Ok(gid)
+    }
+
+    /// Stages a gate removal.
+    pub fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
+        if let Some((g, net)) = self.added_gates.remove(&gate) {
+            let d = self.delta(net);
+            d.occ_add &= !g.qubit_mask();
+            d.added_gates.retain(|id| *id != gate);
+            self.gate_pred.predict_remove(gate.key());
+            self.ops.push(EditOp::RemoveGate(gate));
+            return Ok(());
+        }
+        if self.removed_gates.contains(&gate) {
+            return Err(CircuitError::StaleGate);
+        }
+        let (g, net) = match (self.base.gate(gate), self.base.gate_net(gate)) {
+            (Some(g), Some(net)) => (*g, net),
+            _ => return Err(CircuitError::StaleGate),
+        };
+        self.removed_gates.insert(gate);
+        let d = self.delta(net);
+        d.occ_del |= g.qubit_mask();
+        d.removed += 1;
+        self.gate_pred.predict_remove(gate.key());
+        self.ops.push(EditOp::RemoveGate(gate));
+        Ok(())
+    }
+}
+
+/// The pre-overlay stager: clones the circuit and mutates the clone.
+/// Kept compiled only in tests as the oracle the overlay is checked
+/// against — by construction its ids and errors are exactly what a
+/// replay produces, so `StagedBatch` must agree with it everywhere.
+#[cfg(test)]
+pub(crate) struct ShadowBatch {
+    shadow: Circuit,
+    ops: Vec<EditOp>,
+}
+
+#[cfg(test)]
+impl ShadowBatch {
+    pub(crate) fn new(circuit: &Circuit) -> ShadowBatch {
+        ShadowBatch {
+            shadow: circuit.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    pub(crate) fn shadow(&self) -> &Circuit {
+        &self.shadow
+    }
+
+    pub(crate) fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    pub(crate) fn insert_net_front(&mut self) -> NetId {
+        let id = self.shadow.insert_net_front();
+        self.ops.push(EditOp::InsertNetFront);
+        id
+    }
+
+    pub(crate) fn push_net(&mut self) -> NetId {
+        let id = self.shadow.push_net();
+        self.ops.push(EditOp::PushNet);
+        id
+    }
+
+    pub(crate) fn insert_net_after(&mut self, after: NetId) -> Result<NetId, CircuitError> {
+        let id = self.shadow.insert_net_after(after)?;
+        self.ops.push(EditOp::InsertNetAfter(after));
+        Ok(id)
+    }
+
+    pub(crate) fn insert_net_before(&mut self, before: NetId) -> Result<NetId, CircuitError> {
+        let id = self.shadow.insert_net_before(before)?;
+        self.ops.push(EditOp::InsertNetBefore(before));
+        Ok(id)
+    }
+
+    pub(crate) fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
+        self.shadow.remove_net(net)?;
+        self.ops.push(EditOp::RemoveNet(net));
+        Ok(())
+    }
+
+    pub(crate) fn insert_gate(
         &mut self,
         kind: GateKind,
         net: NetId,
@@ -143,8 +417,7 @@ impl StagedBatch {
         Ok(id)
     }
 
-    /// Stages a gate removal.
-    pub fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
+    pub(crate) fn remove_gate(&mut self, gate: GateId) -> Result<(), CircuitError> {
         self.shadow.remove_gate(gate)?;
         self.ops.push(EditOp::RemoveGate(gate));
         Ok(())
@@ -230,5 +503,229 @@ mod tests {
         assert_eq!(batch.remove_net(net), Ok(()));
         assert_eq!(batch.remove_net(net), Err(CircuitError::StaleNet));
         assert_eq!(batch.ops().len(), 1);
+    }
+
+    #[test]
+    fn overlay_queries_merge_staged_ops() {
+        let mut original = Circuit::new(4);
+        let net = original.push_net();
+        let base_gate = original.insert_gate(GateKind::H, net, &[0]).unwrap();
+
+        let mut batch = StagedBatch::new(&original);
+        assert_eq!(batch.num_qubits(), 4);
+        assert_eq!(batch.net_len(net), Some(1));
+        assert_eq!(batch.gate(base_gate).map(|g| g.kind()), Some(GateKind::H));
+
+        let staged = batch.insert_gate(GateKind::X, net, &[1]).unwrap();
+        assert_eq!(batch.net_len(net), Some(2));
+        assert_eq!(batch.net_occupied_mask(net), Some(0b11));
+        assert_eq!(batch.gate(staged).map(|g| g.kind()), Some(GateKind::X));
+        assert_eq!(batch.gate_net(staged), Some(net));
+
+        batch.remove_gate(base_gate).unwrap();
+        assert_eq!(batch.gate(base_gate), None);
+        assert_eq!(batch.net_len(net), Some(1));
+        assert_eq!(batch.net_occupied_mask(net), Some(0b10));
+        // The freed qubit is claimable again in the same batch.
+        batch.insert_gate(GateKind::Z, net, &[0]).unwrap();
+
+        batch.remove_net(net).unwrap();
+        assert!(!batch.contains_net(net));
+        assert_eq!(batch.net_len(net), None);
+        assert_eq!(batch.gate(staged), None);
+        // The base never moved.
+        assert_eq!(original.num_gates(), 1);
+    }
+
+    // ---- overlay vs clone-based oracle ---------------------------------
+
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    fn assert_circuits_equal(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        assert_eq!(a.num_nets(), b.num_nets());
+        assert_eq!(a.num_gates(), b.num_gates());
+        let a_nets: Vec<NetId> = a.net_ids().collect();
+        let b_nets: Vec<NetId> = b.net_ids().collect();
+        assert_eq!(a_nets, b_nets);
+        for net in a_nets {
+            let an = a.net(net).unwrap();
+            let bn = b.net(net).unwrap();
+            assert_eq!(an.gates(), bn.gates());
+            assert_eq!(an.occupied_mask(), bn.occupied_mask());
+            for gid in an.gates() {
+                assert_eq!(a.gate(*gid), b.gate(*gid));
+            }
+        }
+    }
+
+    /// Drives the overlay and the clone-based oracle through the same
+    /// randomized op stream: every call must return the same id or the
+    /// same error, every query must agree, the journals must match, and
+    /// replaying the journal on the original must land on the oracle's
+    /// shadow bit for bit.
+    #[test]
+    fn overlay_matches_clone_oracle_on_random_batches() {
+        const KINDS: [GateKind; 4] = [GateKind::H, GateKind::X, GateKind::Z, GateKind::S];
+        for seed in 0..30u64 {
+            let mut rng = SplitMix64(0x0eed_5eed ^ (seed.wrapping_mul(0x9e37)));
+
+            // A base circuit with some history, so free lists are non-empty.
+            let mut original = Circuit::new(5);
+            let mut nets: Vec<NetId> = (0..4).map(|_| original.push_net()).collect();
+            let mut gates: Vec<GateId> = Vec::new();
+            for (i, net) in nets.clone().into_iter().enumerate() {
+                let g = original
+                    .insert_gate(KINDS[i % KINDS.len()], net, &[(i % 5) as u8])
+                    .unwrap();
+                gates.push(g);
+            }
+            for _ in 0..2 {
+                let g = gates.remove(rng.below(gates.len()));
+                original.remove_gate(g).unwrap();
+            }
+            let dropped_net = nets.remove(rng.below(nets.len()));
+            original.remove_net(dropped_net).unwrap();
+            nets.push(dropped_net); // keep a stale handle in the pool
+            let snapshot = original.clone();
+
+            let mut overlay = StagedBatch::new(&original);
+            let mut oracle = ShadowBatch::new(&original);
+
+            for _ in 0..40 {
+                match rng.below(7) {
+                    0 => {
+                        let (a, b) = (overlay.push_net(), oracle.push_net());
+                        assert_eq!(a, b);
+                        nets.push(a);
+                    }
+                    1 => {
+                        let (a, b) = (overlay.insert_net_front(), oracle.insert_net_front());
+                        assert_eq!(a, b);
+                        nets.push(a);
+                    }
+                    2 => {
+                        let anchor = nets[rng.below(nets.len())];
+                        let (a, b) = if rng.next() & 1 == 0 {
+                            (
+                                overlay.insert_net_after(anchor),
+                                oracle.insert_net_after(anchor),
+                            )
+                        } else {
+                            (
+                                overlay.insert_net_before(anchor),
+                                oracle.insert_net_before(anchor),
+                            )
+                        };
+                        assert_eq!(a, b);
+                        if let Ok(id) = a {
+                            nets.push(id);
+                        }
+                    }
+                    3 => {
+                        let net = nets[rng.below(nets.len())];
+                        let kind = KINDS[rng.below(KINDS.len())];
+                        // Occasionally out of range to exercise that path.
+                        let qubit = rng.below(6) as u8;
+                        let (a, b) = (
+                            overlay.insert_gate(kind, net, &[qubit]),
+                            oracle.insert_gate(kind, net, &[qubit]),
+                        );
+                        assert_eq!(a, b);
+                        if let Ok(id) = a {
+                            gates.push(id);
+                        }
+                    }
+                    4 => {
+                        let net = nets[rng.below(nets.len())];
+                        let (q, t) = (rng.below(5) as u8, rng.below(5) as u8);
+                        if q == t {
+                            continue; // Gate::new rejects repeated operands
+                        }
+                        let (a, b) = (
+                            overlay.insert_gate(GateKind::Cx, net, &[q, t]),
+                            oracle.insert_gate(GateKind::Cx, net, &[q, t]),
+                        );
+                        assert_eq!(a, b);
+                        if let Ok(id) = a {
+                            gates.push(id);
+                        }
+                    }
+                    5 => {
+                        if gates.is_empty() {
+                            continue;
+                        }
+                        let g = gates[rng.below(gates.len())];
+                        assert_eq!(overlay.remove_gate(g), oracle.remove_gate(g));
+                    }
+                    _ => {
+                        let net = nets[rng.below(nets.len())];
+                        assert_eq!(overlay.remove_net(net), oracle.remove_net(net));
+                    }
+                }
+                // Spot-check the merged queries against the oracle's shadow.
+                let net = nets[rng.below(nets.len())];
+                assert_eq!(
+                    overlay.net_len(net),
+                    oracle.shadow().net(net).map(|n| n.len())
+                );
+                assert_eq!(
+                    overlay.net_occupied_mask(net),
+                    oracle.shadow().net(net).map(|n| n.occupied_mask())
+                );
+                if !gates.is_empty() {
+                    let g = gates[rng.below(gates.len())];
+                    assert_eq!(overlay.gate(g), oracle.shadow().gate(g).copied());
+                    assert_eq!(overlay.gate_net(g), oracle.shadow().gate_net(g));
+                }
+            }
+
+            assert_eq!(overlay.ops(), oracle.ops());
+
+            // Replaying the journal must land exactly on the oracle's shadow.
+            let mut replayed = snapshot;
+            for op in overlay.into_ops() {
+                match op {
+                    EditOp::InsertNetFront => {
+                        replayed.insert_net_front();
+                    }
+                    EditOp::PushNet => {
+                        replayed.push_net();
+                    }
+                    EditOp::InsertNetAfter(after) => {
+                        replayed.insert_net_after(after).unwrap();
+                    }
+                    EditOp::InsertNetBefore(before) => {
+                        replayed.insert_net_before(before).unwrap();
+                    }
+                    EditOp::RemoveNet(net) => {
+                        replayed.remove_net(net).unwrap();
+                    }
+                    EditOp::InsertGate { net, gate } => {
+                        replayed
+                            .insert_gate(gate.kind(), net, gate.qubits())
+                            .unwrap();
+                    }
+                    EditOp::RemoveGate(gate) => {
+                        replayed.remove_gate(gate).unwrap();
+                    }
+                }
+            }
+            assert_circuits_equal(&replayed, oracle.shadow());
+        }
     }
 }

@@ -11,7 +11,7 @@ use crate::snapshot::{SnapInner, StateSnapshot};
 use qtask_circuit::{Circuit, CircuitError, Gate, GateId, NetId};
 use qtask_gates::GateKind;
 use qtask_partition::{derive_partitions, BlockGeometry, LoweredGate, PartitionSpec};
-use qtask_taskflow::{Executor, Taskflow};
+use qtask_taskflow::{Executor, RetainedGraph};
 use qtask_util::{Arena, LinkedArena};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -90,6 +90,19 @@ pub struct UpdateReport {
     /// grows under [`NumericalPolicy::Renormalize`] — under
     /// [`NumericalPolicy::Strict`] the first drift poisons the engine.
     pub drift_events: u64,
+    /// Retained-graph nodes this update re-executed that predate the
+    /// current edit window — structure (node + closure shape) reused from
+    /// a previous run rather than rebuilt. With a warm graph this equals
+    /// `partitions_executed` minus the partitions the edit itself created.
+    pub graph_nodes_reused: usize,
+    /// Structural retained-graph patches (node/edge inserts and detaches)
+    /// the edits since the previous update performed. Bounded by the edit
+    /// size — never by circuit depth (asserted by
+    /// `tests/retained_graph_stress.rs`).
+    pub graph_nodes_patched: usize,
+    /// Journal ops committed by [`Ckt::edit`] batches since the previous
+    /// update — the write-path work `update_state` absorbed.
+    pub staged_ops: usize,
 }
 
 /// Interns every `core.*` metric the engine's reports surface, so
@@ -105,6 +118,9 @@ fn touch_core_metrics() {
     let _ = qtask_obs::counter!("core.owner_probes");
     let _ = qtask_obs::counter!("core.snapshot_blocks_resolved");
     let _ = qtask_obs::counter!("core.drift_events");
+    let _ = qtask_obs::counter!("core.graph_nodes_reused");
+    let _ = qtask_obs::counter!("core.graph_nodes_patched");
+    let _ = qtask_obs::counter!("core.staged_ops");
     let _ = qtask_obs::counter!("core.recoveries");
     let _ = qtask_obs::counter!("core.recovery_failures");
     let _ = qtask_obs::counter!("core.query.calls");
@@ -128,6 +144,9 @@ fn record_update_metrics(report: &UpdateReport) {
     qtask_obs::counter!("core.blocks_resolved").add(report.blocks_resolved);
     qtask_obs::counter!("core.owner_probes").add(report.owner_probes);
     qtask_obs::counter!("core.snapshot_blocks_resolved").add(report.snapshot_blocks_resolved);
+    qtask_obs::counter!("core.graph_nodes_reused").add(report.graph_nodes_reused as u64);
+    qtask_obs::counter!("core.graph_nodes_patched").add(report.graph_nodes_patched as u64);
+    qtask_obs::counter!("core.staged_ops").add(report.staged_ops as u64);
     qtask_obs::histogram!("core.update_us").record_duration_us(report.elapsed);
     qtask_obs::histogram!("core.update_build_us").record_duration_us(report.build_elapsed);
     qtask_obs::histogram!("core.update_run_us").record_duration_us(report.run_elapsed);
@@ -168,6 +187,21 @@ pub struct Ckt {
     pub(crate) frontier: HashSet<PartId>,
     /// Per-block sorted owner lists for O(log) COW resolution.
     pub(crate) owners: OwnerIndex,
+    /// Per-block sorted cover lists for O(log) partition linking.
+    pub(crate) coverage: crate::coverage::CoverageIndex,
+    /// Persistent task graph mirroring the partition graph: one retained
+    /// node per partition, patched in place by every modifier and
+    /// executed (dirty subset only) by [`Ckt::update_state`]. The graph
+    /// outlives individual updates, so a warm update re-boxes no closures
+    /// and re-wires no edges — the build phase is O(|dirty|).
+    pub(crate) graph: RetainedGraph,
+    /// Journal ops committed since the last `update_state` (reported as
+    /// [`UpdateReport::staged_ops`], then reset).
+    pub(crate) staged_ops_pending: usize,
+    /// Content-addressed sharing cache for fused MxV operators: rows with
+    /// identical factor groups share one `Arc<FusedOp>` instead of each
+    /// expanding their own pattern table.
+    pub(crate) fused_cache: crate::fused::FusedCache,
     /// Resolution counters of the most recent update (also fed by lazy
     /// query resolution; reset at each `update_state`).
     pub(crate) resolve_stats: ResolveStats,
@@ -209,10 +243,6 @@ pub struct Ckt {
 struct UpdateScratch {
     dirty: HashSet<PartId>,
     stack: Vec<PartId>,
-    task_of: HashMap<PartId, qtask_taskflow::TaskRef>,
-    /// Node count of the previous task graph — the capacity hint that
-    /// lets the next `Taskflow` allocate once.
-    nodes_hint: usize,
 }
 
 impl Ckt {
@@ -247,6 +277,10 @@ impl Ckt {
             gate_sim: HashMap::new(),
             frontier: HashSet::new(),
             owners: OwnerIndex::new(geom.num_blocks()),
+            coverage: crate::coverage::CoverageIndex::new(geom.num_blocks()),
+            graph: RetainedGraph::new(),
+            staged_ops_pending: 0,
+            fused_cache: crate::fused::FusedCache::default(),
             resolve_stats: ResolveStats::default(),
             scratch: UpdateScratch::default(),
             latest: None,
@@ -857,6 +891,40 @@ impl Ckt {
             .map(|spec| PartId(self.parts.insert(Partition::new(row_id, spec))))
             .collect();
         self.rows[row_id.key()].parts = pids.clone();
+        // Mirror the new partitions into the retained task graph: the
+        // payload is the packed `PartId` (decoded by `update_state`'s
+        // invoke closure), the chunk count fixes the execution shape —
+        // sync rows are pure barriers, MxV partitions one call each,
+        // linear partitions fan out one chunk per `block_size` items.
+        qtask_faults::fault_point!("engine/graph_patch");
+        let chunk = self.geom.block_size() as u64;
+        let label = std::sync::Arc::clone(&self.rows[row_id.key()].label);
+        for &pid in &pids {
+            let chunks = match self.rows[row_id.key()].kind {
+                RowKind::Sync => 0,
+                RowKind::MxV => 1,
+                RowKind::Linear(_) => self.parts[pid.key()].spec.num_tasks(chunk) as u32,
+            };
+            let node =
+                self.graph
+                    .insert(pid.key().to_bits(), chunks, std::sync::Arc::clone(&label));
+            self.parts[pid.key()].node = node;
+        }
+        // Register the new partitions' spans in the coverage index, so
+        // linking them (and every later link) resolves nearest covers by
+        // binary search instead of walking the row list.
+        let rows = &self.rows;
+        let parts = &self.parts;
+        let label_of = |pid: PartId| {
+            rows.order_label(parts[pid.key()].row.key())
+                .expect("cover rows are live")
+        };
+        for &pid in &pids {
+            let spec = &parts[pid.key()].spec;
+            for b in spec.block_lo..=spec.block_hi {
+                self.coverage.add(b as usize, pid, label_of);
+            }
+        }
         pids
     }
 
@@ -897,6 +965,8 @@ impl Ckt {
             }
             report.norm_error = self.last_norm_error;
             report.drift_events = self.drift_events;
+            report.graph_nodes_patched = self.graph.take_patches();
+            report.staged_ops = std::mem::take(&mut self.staged_ops_pending);
             report.elapsed = t0.elapsed();
             record_update_metrics(&report);
             return Ok(report);
@@ -907,10 +977,8 @@ impl Ckt {
         let partition_span = qtask_obs::span!("update/partition");
         let mut dirty = std::mem::take(&mut self.scratch.dirty);
         let mut stack = std::mem::take(&mut self.scratch.stack);
-        let mut task_of = std::mem::take(&mut self.scratch.task_of);
         dirty.clear();
         stack.clear();
-        task_of.clear();
         stack.extend(
             self.frontier
                 .iter()
@@ -954,16 +1022,26 @@ impl Ckt {
                 let row = self.rows.get_mut(rid.key()).expect("dirty row is live");
                 if matches!(row.kind, RowKind::MxV) && row.fused.is_none() && !row.dense.is_empty()
                 {
-                    row.fused = crate::fused::FusedOp::build(&row.dense);
+                    row.fused = self.fused_cache.get_or_build(&row.dense);
                 }
             }
         }
         drop(fuse_span);
-        // Build the task graph over dirty partitions only; clean
-        // predecessors' outputs are already materialized.
+        // Stage the run: mark the dirty partitions' retained nodes. The
+        // graph's structure (nodes, edges, chunk fans) was patched in
+        // place by the modifiers that dirtied these partitions, so the
+        // build phase is O(|dirty|) flag flips — no closures are boxed,
+        // no edges re-wired, nothing proportional to the circuit.
         let build_span = qtask_obs::span!("update/build");
         self.resolve_stats.reset();
         let chunk = self.geom.block_size() as u64;
+        for &pid in &dirty {
+            let node = self.parts[pid.key()].node;
+            self.graph.mark_dirty(node);
+        }
+        // Structural patches accumulated since the previous update — the
+        // graph-maintenance cost of the edit window now being absorbed.
+        let graph_nodes_patched = self.graph.take_patches();
         let view = ExecView {
             rows: &self.rows,
             parts: &self.parts,
@@ -974,73 +1052,42 @@ impl Ckt {
             resolve: self.config.resolve,
             kernels: self.config.kernels,
         };
-        let mut tf = Taskflow::with_capacity("update_state", self.scratch.nodes_hint);
-        let mut tasks_executed = 0usize;
-        for &pid in &dirty {
-            let part = &self.parts[pid.key()];
-            let row = &self.rows[part.row.key()];
-            let label = std::sync::Arc::clone(&row.label);
-            let node = match row.kind {
-                RowKind::Sync => tf.emplace_empty(label),
-                RowKind::MxV => {
-                    tasks_executed += 1;
-                    tf.emplace(label, move || exec::exec_mxv_partition(view, pid))
-                }
+        // Retained nodes store only packed `PartId`s; this per-run
+        // closure decodes them and dispatches on the row kind. Chunked
+        // linear fans receive their chunk index and recompute the item
+        // sub-range (Figure 6's intra-gate operation parallelism).
+        let invoke = move |payload: u64, chunk_idx: u32| {
+            let pid = PartId(qtask_util::Key::from_bits(payload));
+            let part = &view.parts[pid.key()];
+            match view.rows[part.row.key()].kind {
+                RowKind::Sync => unreachable!("sync barriers are never invoked"),
+                RowKind::MxV => exec::exec_mxv_partition(view, pid),
                 RowKind::Linear(_) => {
-                    let n_tasks = part.spec.num_tasks(chunk);
-                    tasks_executed += n_tasks as usize;
-                    if n_tasks <= 1 {
-                        let ranks = part.spec.item_start..part.spec.item_end;
-                        tf.emplace(label, move || {
-                            exec::exec_linear_partition(view, pid, ranks.clone())
-                        })
-                    } else {
-                        // Intra-gate operation parallelism: one subflow
-                        // child per task of `block_size` items (Figure 6).
-                        let spec = part.spec.clone();
-                        let child_label = std::sync::Arc::clone(&label);
-                        tf.emplace_subflow(std::sync::Arc::clone(&label), move |sf| {
-                            for ranks in spec.task_ranges(chunk) {
-                                sf.task(std::sync::Arc::clone(&child_label), move || {
-                                    exec::exec_linear_partition(view, pid, ranks)
-                                });
-                            }
-                        })
-                    }
-                }
-            };
-            task_of.insert(pid, node);
-        }
-        for &pid in &dirty {
-            let node = task_of[&pid];
-            for s in &self.parts[pid.key()].succs {
-                if let Some(&succ_node) = task_of.get(s) {
-                    tf.precede(node, succ_node);
+                    let s = part.spec.item_start + chunk_idx as u64 * chunk;
+                    exec::exec_linear_partition(view, pid, s..(s + chunk).min(part.spec.item_end));
                 }
             }
-        }
+        };
         let build_elapsed = t0.elapsed();
         drop(build_span);
         let kernel_span = qtask_obs::span!("update/kernel");
         let t1 = Instant::now();
-        // `try_run` survives panicking tasks: the executor cancels the
-        // panicking task's dependents, drains the rest, and reports the
-        // first panic here instead of unwinding a worker (or hanging).
-        let run_result = self.executor.try_run(&tf);
+        // `run_dirty` survives panicking tasks the same way `try_run`
+        // does: dependents are cancelled, the rest drain, and the first
+        // panic is reported here instead of unwinding a worker.
+        let run_result = self.executor.run_dirty(&mut self.graph, &invoke);
         let run_elapsed = t1.elapsed();
         drop(kernel_span);
         let partitions_executed = dirty.len();
         let (blocks_resolved, owner_probes) = self.resolve_stats.snapshot();
-        self.scratch.nodes_hint = tf.len();
-        drop(tf);
         self.scratch.dirty = dirty;
         self.scratch.stack = stack;
-        self.scratch.task_of = task_of;
-        if let Err(task_panic) = run_result {
+        let stats = match run_result {
+            Ok(stats) => stats,
             // Some partitions ran, some were cancelled: the row state is
             // torn. Poison; `recover` rebuilds from the circuit.
-            return Err(self.poison_with(task_panic.to_string()));
-        }
+            Err(task_panic) => return Err(self.poison_with(task_panic.to_string())),
+        };
         self.frontier.clear();
         qtask_faults::fault_point!("engine/update_publish");
         let snapshot_blocks_resolved = match spine {
@@ -1049,7 +1096,7 @@ impl Ckt {
         };
         let report = UpdateReport {
             partitions_executed,
-            tasks_executed,
+            tasks_executed: stats.tasks_run,
             elapsed: t0.elapsed(),
             build_elapsed,
             run_elapsed,
@@ -1058,6 +1105,9 @@ impl Ckt {
             snapshot_blocks_resolved,
             norm_error: self.last_norm_error,
             drift_events: self.drift_events,
+            graph_nodes_reused: stats.nodes_reused,
+            graph_nodes_patched,
+            staged_ops: std::mem::take(&mut self.staged_ops_pending),
         };
         record_update_metrics(&report);
         Ok(report)
@@ -1443,5 +1493,45 @@ mod tests {
         let mut want = qtask_num::vecops::ket_zero(4);
         qtask_partition::kernels::apply_dense(0, 0, &h, 4, &mut want);
         assert!(qtask_num::vecops::approx_eq(&ckt.state(), &want, 1e-12));
+    }
+
+    /// MxV rows whose factor groups have identical content share one
+    /// fused operator through the engine's content-addressed cache.
+    #[test]
+    fn identical_mxv_groups_share_one_fused_op() {
+        let mut cfg = SimConfig::with_block_size(4);
+        cfg.num_threads = 1;
+        let mut ckt = Ckt::with_config(4, cfg);
+        let n1 = ckt.push_net();
+        let n2 = ckt.push_net();
+        let g1 = ckt.insert_gate(GateKind::H, n1, &[1]).unwrap();
+        let g2 = ckt.insert_gate(GateKind::H, n2, &[1]).unwrap();
+        let g3 = ckt.insert_gate(GateKind::H, n2, &[3]).unwrap();
+        ckt.update_state().unwrap();
+        let (GateSim::DenseInMxV(m1, _), GateSim::DenseInMxV(m2, _)) =
+            (&ckt.gate_sim[&g1], &ckt.gate_sim[&g2])
+        else {
+            panic!("H gates must fold into MxV rows");
+        };
+        let (m1, m2) = (*m1, *m2);
+        let (a, b) = (
+            ckt.rows[m1.key()].fused.clone().unwrap(),
+            ckt.rows[m2.key()].fused.clone().unwrap(),
+        );
+        // Same single-H-on-qubit-1 content in both nets? Only when the
+        // second net's group really is just {H@1}: with the default cap
+        // both of n2's gates share one row, so content differs …
+        if ckt.rows[m2.key()].dense.len() == 2 {
+            assert!(!Arc::ptr_eq(&a, &b), "different group content");
+        }
+        // … but removing the second factor shrinks n2's group back to
+        // {H@1}, and the rebuild must reuse n1's operator.
+        ckt.remove_gate(g3).unwrap();
+        ckt.update_state().unwrap();
+        let b = ckt.rows[m2.key()].fused.clone().unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "identical groups share one fused operator"
+        );
     }
 }

@@ -36,6 +36,7 @@
 //!   with intra-partition tasks as subflow children ([`exec`]).
 
 pub mod config;
+pub(crate) mod coverage;
 pub mod cow;
 pub mod dump;
 pub mod engine;

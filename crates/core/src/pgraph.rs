@@ -1,11 +1,15 @@
 //! Partition-graph maintenance: the paper's §III-D algorithms.
 //!
-//! * **Linking** a new partition: scan rows backward (for predecessors)
-//!   and forward (for successors), collecting the *nearest* partitions
-//!   whose block ranges intersect the still-uncovered blocks, until every
-//!   block of the new partition is covered or the row list ends (Figure
-//!   9's walk). Then remove direct pred→succ edges, which became
-//!   transitive through the new partition.
+//! * **Linking** a new partition: find, per block it spans, the *nearest*
+//!   earlier partition covering that block (its predecessors) and the
+//!   nearest later one (its successors). The paper walks the row list
+//!   outward until every block is covered (Figure 9's walk) — O(depth)
+//!   per link; we answer the same query from the per-block
+//!   `CoverageIndex` (`crate::coverage`) by binary search, O(span · log
+//!   covers), which keeps a constant-size edit's cost independent of
+//!   circuit depth. The two formulations return the same set: a
+//!   partition contributes a block in the row walk exactly when it is
+//!   that block's nearest cover.
 //! * **Removing** a row: detach every partition, reconnect each removed
 //!   partition's predecessors to its successors where their block ranges
 //!   overlap inside the removed range (Figure 7), and push the successors
@@ -13,16 +17,18 @@
 
 use crate::engine::Ckt;
 use crate::row::{PartId, RowId};
-use qtask_util::BitSet;
 
 impl Ckt {
-    /// Adds edge `a → b` if absent.
+    /// Adds edge `a → b` if absent, mirroring it into the retained task
+    /// graph so `update_state` never has to re-derive precedence.
     pub(crate) fn add_edge(&mut self, a: PartId, b: PartId) {
         debug_assert_ne!(a, b);
         let pa = &mut self.parts[a.key()];
         if !pa.succs.contains(&b) {
             pa.succs.push(b);
             self.parts[b.key()].preds.push(a);
+            let (na, nb) = (self.parts[a.key()].node, self.parts[b.key()].node);
+            self.graph.add_edge(na, nb);
         }
     }
 
@@ -63,49 +69,33 @@ impl Ckt {
         }
     }
 
-    /// Nearest partitions covering blocks `[lo, hi]`, walking rows in
-    /// `dir` from (exclusive) `from_row`. Stops early once covered.
+    /// Nearest partitions covering blocks `[lo, hi]` in direction `dir`
+    /// from (exclusive) `from_row`: per block, a binary search in the
+    /// coverage index for the closest cover strictly before/after
+    /// `from_row`'s order label, deduplicated across blocks.
     fn coverage_scan(&self, from_row: RowId, lo: u32, hi: u32, dir: Direction) -> Vec<PartId> {
-        let span = (hi - lo + 1) as usize;
-        let mut covered = BitSet::with_capacity(span);
+        let limit = self
+            .rows
+            .order_label(from_row.key())
+            .expect("coverage scan starts at a live row");
+        let label_of = |pid: PartId| {
+            self.rows
+                .order_label(self.parts[pid.key()].row.key())
+                .expect("cover rows are live")
+        };
         let mut found = Vec::new();
-        let mut cur = self.step(from_row, dir);
-        while covered.count() < span {
-            let Some(row_id) = cur else { break };
-            let row = &self.rows[row_id.key()];
-            // Partitions of a row are block-disjoint and sorted, so both
-            // block_lo and block_hi ascend: binary-search the first
-            // candidate overlapping [lo, hi], then walk while in range.
-            let start = row
-                .parts
-                .partition_point(|qid| self.parts[qid.key()].spec.block_hi < lo);
-            for &qid in &row.parts[start..] {
-                let q = &self.parts[qid.key()];
-                if q.spec.block_lo > hi {
-                    break;
-                }
-                let from = q.spec.block_lo.max(lo);
-                let to = q.spec.block_hi.min(hi);
-                let mut contributed = false;
-                for b in from..=to {
-                    if covered.insert((b - lo) as usize) {
-                        contributed = true;
-                    }
-                }
-                if contributed {
-                    found.push(qid);
+        for b in lo..=hi {
+            let hit = match dir {
+                Direction::Backward => self.coverage.last_before(b as usize, limit, label_of),
+                Direction::Forward => self.coverage.first_after(b as usize, limit, label_of),
+            };
+            if let Some(q) = hit {
+                if !found.contains(&q) {
+                    found.push(q);
                 }
             }
-            cur = self.step(row_id, dir);
         }
         found
-    }
-
-    fn step(&self, row: RowId, dir: Direction) -> Option<RowId> {
-        match dir {
-            Direction::Backward => self.rows.prev(row.key()).map(RowId),
-            Direction::Forward => self.rows.next(row.key()).map(RowId),
-        }
     }
 
     /// Removes a row and all its partitions, reconnecting each orphaned
@@ -148,13 +138,34 @@ impl Ckt {
                 }
             }
         }
+        // Strip the row's partitions from the coverage index while the
+        // row's order label is still readable (the index is sorted by
+        // label); the orphan re-scan below must not see them as covers.
+        {
+            let rows = &self.rows;
+            let parts = &self.parts;
+            let label_of = |pid: PartId| {
+                rows.order_label(parts[pid.key()].row.key())
+                    .expect("cover rows are live")
+            };
+            for pid in &rows[row_id.key()].parts.clone() {
+                let spec = &parts[pid.key()].spec;
+                for b in spec.block_lo..=spec.block_hi {
+                    self.coverage.remove(b as usize, *pid, label_of);
+                }
+            }
+        }
         let row = self
             .rows
             .remove(row_id.key())
             .expect("remove_row on a live row");
+        qtask_faults::fault_point!("engine/graph_patch");
         let mut orphaned: Vec<PartId> = Vec::new();
         for pid in row.parts {
             let part = self.parts.remove(pid.key()).expect("row partition is live");
+            // Retained-graph removal detaches every incident edge, so the
+            // reconnection scan below patches a graph with no stale nodes.
+            self.graph.remove(part.node);
             self.frontier.remove(&pid);
             // Detach.
             for p in &part.preds {
@@ -232,6 +243,73 @@ impl Ckt {
         for f in &self.frontier {
             if !self.parts.contains(f.key()) {
                 return Err(format!("frontier holds dead partition {f:?}"));
+            }
+        }
+        // Coverage-index coherence: every live partition is indexed for
+        // exactly its span, every entry is live, and lists stay sorted by
+        // row label.
+        let mut expected = 0usize;
+        for (k, part) in self.parts.iter() {
+            let pid = PartId(k);
+            for b in part.spec.block_lo..=part.spec.block_hi {
+                if !self.coverage.covers_of(b as usize).contains(&pid) {
+                    return Err(format!("{pid:?} missing from coverage index at block {b}"));
+                }
+                expected += 1;
+            }
+        }
+        if self.coverage.len() != expected {
+            return Err(format!(
+                "coverage index holds {} entries, expected {expected} (stale covers)",
+                self.coverage.len()
+            ));
+        }
+        // Retained-graph coherence: exactly one live node per partition,
+        // carrying that partition's packed id, with every partition edge
+        // mirrored (plus the graph's own symmetry/liveness invariants).
+        self.graph.validate()?;
+        if self.graph.len() != self.parts.len() {
+            return Err(format!(
+                "retained graph holds {} nodes for {} partitions",
+                self.graph.len(),
+                self.parts.len()
+            ));
+        }
+        for (k, part) in self.parts.iter() {
+            let pid = PartId(k);
+            if !self.graph.contains(part.node) {
+                return Err(format!("{pid:?} points at a dead retained node"));
+            }
+            if self.graph.payload(part.node) != k.to_bits() {
+                return Err(format!("{pid:?}'s retained node carries a foreign payload"));
+            }
+            for s in &part.succs {
+                if !self
+                    .graph
+                    .succs(part.node)
+                    .contains(&self.parts[s.key()].node)
+                {
+                    return Err(format!(
+                        "partition edge {pid:?} -> {s:?} missing from the retained graph"
+                    ));
+                }
+            }
+        }
+        for b in 0..self.geom.num_blocks() {
+            let mut prev = None;
+            for &pid in self.coverage.covers_of(b) {
+                let part = self
+                    .parts
+                    .get(pid.key())
+                    .ok_or_else(|| format!("coverage index holds dead {pid:?} at block {b}"))?;
+                let label = self
+                    .rows
+                    .order_label(part.row.key())
+                    .ok_or_else(|| format!("coverage entry {pid:?} points at a dead row"))?;
+                if prev.is_some_and(|p| p >= label) {
+                    return Err(format!("coverage list for block {b} out of label order"));
+                }
+                prev = Some(label);
             }
         }
         Ok(())

@@ -56,8 +56,10 @@ pub struct Row {
     /// Fused sparse-row cache over `dense` ([`crate::fused::FusedOp`]).
     /// Built lazily in `update_state` under
     /// [`crate::KernelPolicy::Batched`]; invalidated by every modifier
-    /// that changes the factor group.
-    pub fused: Option<crate::fused::FusedOp>,
+    /// that changes the factor group. Shared (`Arc`) between rows whose
+    /// factor groups have identical content, via
+    /// [`crate::fused::FusedCache`].
+    pub fused: Option<std::sync::Arc<crate::fused::FusedOp>>,
     /// Partitions of this row, ordered by `block_lo` (block-disjoint).
     pub parts: Vec<PartId>,
     /// The row's COW output vector.
@@ -88,6 +90,10 @@ pub struct Partition {
     /// tasks of one partition each pop their own vector; the pool grows
     /// to the high-water concurrency and stays there.
     pub scratch: Mutex<Vec<Vec<(usize, BlockData)>>>,
+    /// This partition's node in the engine's retained task graph
+    /// ([`qtask_taskflow::RetainedGraph`]). Assigned when the partition is
+    /// linked; [`qtask_taskflow::NodeId::DANGLING`] until then.
+    pub node: qtask_taskflow::NodeId,
 }
 
 impl Partition {
@@ -99,6 +105,7 @@ impl Partition {
             preds: Vec::new(),
             succs: Vec::new(),
             scratch: Mutex::new(Vec::new()),
+            node: qtask_taskflow::NodeId::DANGLING,
         }
     }
 }

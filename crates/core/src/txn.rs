@@ -2,14 +2,15 @@
 //! MVCC-style reader/writer split.
 //!
 //! [`Ckt::edit`] runs a closure against an [`EditTxn`] that *stages*
-//! modifiers on a shadow clone of the circuit
+//! modifiers in a journal overlay over the live circuit
 //! ([`qtask_circuit::StagedBatch`]) instead of mutating the engine. Only
 //! when the whole closure succeeds are the validated ops replayed through
 //! the engine's real modifiers — so a mid-sequence failure (a
 //! [`CircuitError::NetConflict`] three gates into a batch, say) leaves
 //! the circuit, the partition graph, the frontier, and the owner index
 //! exactly as they were, instead of the half-mutated state direct
-//! modifier calls produce.
+//! modifier calls produce. Staging costs O(ops staged), not O(circuit):
+//! nothing is cloned, the overlay just journals deltas over a borrow.
 //!
 //! Ids handed out during staging are the real ids of the committed
 //! edit (see `qtask_circuit::txn` for why id prediction is exact), so
@@ -33,7 +34,7 @@
 
 use crate::engine::Ckt;
 use crate::error::EngineError;
-use qtask_circuit::{Circuit, CircuitError, EditOp, GateId, NetId, StagedBatch};
+use qtask_circuit::{CircuitError, EditOp, Gate, GateId, NetId, StagedBatch};
 use qtask_gates::GateKind;
 
 /// What a committed [`Ckt::edit`] transaction did.
@@ -57,26 +58,41 @@ pub struct EditReceipt {
 /// A transaction over a [`Ckt`]'s circuit: stages modifiers, commits
 /// atomically. Obtained through [`Ckt::edit`].
 ///
-/// Every staged modifier validates eagerly against the shadow circuit
-/// (which reflects all earlier staged ops), returning the same
-/// [`CircuitError`]s the direct modifiers raise. Returning an `Err` from
-/// the `edit` closure — or propagating one of these with `?` — aborts
-/// the whole transaction.
-pub struct EditTxn {
-    batch: StagedBatch,
+/// Every staged modifier validates eagerly against the effective circuit
+/// (the live circuit plus all earlier staged ops, merged through the
+/// batch's journal overlay), returning the same [`CircuitError`]s the
+/// direct modifiers raise. Returning an `Err` from the `edit` closure —
+/// or propagating one of these with `?` — aborts the whole transaction.
+pub struct EditTxn<'c> {
+    batch: StagedBatch<'c>,
     gates_removed: usize,
 }
 
-impl EditTxn {
+impl EditTxn<'_> {
     /// Number of qubits of the circuit under edit.
     pub fn num_qubits(&self) -> u8 {
-        self.batch.shadow().num_qubits()
+        self.batch.num_qubits()
     }
 
-    /// Read-only view of the circuit *as it will be after commit* (the
-    /// original plus every staged op so far).
-    pub fn circuit(&self) -> &Circuit {
-        self.batch.shadow()
+    /// The gate behind `id` *as it will be after commit* (staged inserts
+    /// are visible, staged removals are not).
+    pub fn gate(&self, id: GateId) -> Option<Gate> {
+        self.batch.gate(id)
+    }
+
+    /// The net a live gate belongs to, in the post-commit view.
+    pub fn gate_net(&self, id: GateId) -> Option<NetId> {
+        self.batch.gate_net(id)
+    }
+
+    /// True if `net` is live in the post-commit view.
+    pub fn contains_net(&self, net: NetId) -> bool {
+        self.batch.contains_net(net)
+    }
+
+    /// Number of gates of `net` in the post-commit view, if live.
+    pub fn net_len(&self, net: NetId) -> Option<usize> {
+        self.batch.net_len(net)
     }
 
     /// Number of ops staged so far.
@@ -111,12 +127,7 @@ impl EditTxn {
 
     /// Stages the removal of a net and all its gates.
     pub fn remove_net(&mut self, net: NetId) -> Result<(), CircuitError> {
-        self.gates_removed += self
-            .batch
-            .shadow()
-            .net(net)
-            .map(|n| n.len())
-            .unwrap_or_default();
+        self.gates_removed += self.batch.net_len(net).unwrap_or_default();
         self.batch.remove_net(net)
     }
 
@@ -159,7 +170,7 @@ impl Ckt {
     /// any direct modifier.
     pub fn edit<T>(
         &mut self,
-        f: impl FnOnce(&mut EditTxn) -> Result<T, CircuitError>,
+        f: impl FnOnce(&mut EditTxn<'_>) -> Result<T, CircuitError>,
     ) -> Result<(T, EditReceipt), EngineError> {
         self.ensure_healthy()?;
         qtask_faults::fault_point_err!("txn/edit_begin", EngineError::injected("txn/edit_begin"));
@@ -186,10 +197,12 @@ impl Ckt {
             gates_removed,
             ..EditReceipt::default()
         };
-        // Every op was validated on the shadow, and the engine modifiers
+        // Every op was validated on the overlay, and the engine modifiers
         // are deterministic replays of the same circuit mutations, so a
         // failure here is an engine bug, not a user error.
-        const COMMIT: &str = "op validated on the shadow circuit must commit";
+        const COMMIT: &str = "op validated on the staging overlay must commit";
+        qtask_faults::fault_point!("txn/overlay_commit");
+        self.staged_ops_pending += receipt.ops_applied;
         for op in ops {
             qtask_faults::fault_point!("txn/commit_op");
             match op {
@@ -336,7 +349,9 @@ mod tests {
             let g = tx.insert_gate(GateKind::H, n1, &[0])?;
             assert_eq!(tx.len(), 1);
             assert_eq!(tx.num_qubits(), 4);
-            assert!(tx.circuit().gate(g).is_some());
+            assert!(tx.gate(g).is_some());
+            assert_eq!(tx.gate_net(g), Some(n1));
+            assert_eq!(tx.net_len(n1), Some(1));
             // The real circuit is untouched mid-transaction.
             Ok(())
         })

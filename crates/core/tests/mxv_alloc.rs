@@ -133,6 +133,43 @@ fn fused_cache_survives_unrelated_updates() {
     assert!((ckt.amplitude(1).re - inv).abs() < 1e-12);
 }
 
+/// Retained-graph parity for the whole write path: once scratch, pools,
+/// and arena free lists reach steady state, *identical* toggles have
+/// *identical* allocation profiles (A/A-stability). The retained graph
+/// is what makes this hold for `update_state` itself — no per-update
+/// closure boxing or graph rebuild whose footprint could creep with
+/// history — and arena free-list reuse makes it hold for the modifiers.
+#[test]
+fn warm_retained_update_is_allocation_stable() {
+    let mut ckt = Ckt::with_config(6, alloc_test_config());
+    let net = ckt.push_net();
+    ckt.insert_gate(GateKind::H, net, &[0]).unwrap();
+    let tail = ckt.push_net();
+    ckt.insert_gate(GateKind::X, tail, &[3]).unwrap();
+    ckt.update_state().unwrap();
+    let toggle = |ckt: &mut Ckt| {
+        let gid = ckt.insert_gate(GateKind::Z, tail, &[1]).unwrap();
+        let report = ckt.update_state().unwrap();
+        assert!(report.partitions_executed > 0);
+        ckt.remove_gate(gid).unwrap();
+        ckt.update_state().unwrap();
+    };
+    // Two warm-up rounds: dirty-list, run-pool, and scratch capacities
+    // reach their high-water marks.
+    toggle(&mut ckt);
+    toggle(&mut ckt);
+    let before = CountingAlloc::alloc_calls();
+    toggle(&mut ckt);
+    let first = CountingAlloc::alloc_calls() - before;
+    let before = CountingAlloc::alloc_calls();
+    toggle(&mut ckt);
+    let second = CountingAlloc::alloc_calls() - before;
+    assert_eq!(
+        first, second,
+        "steady-state toggles must have identical allocation profiles"
+    );
+}
+
 /// The end-to-end guarantee behind the two micro-tests above: a whole
 /// warm `update_state` — graph build aside, nothing else — reclaims its
 /// buffers through the default `Publish` policy too, because the writer

@@ -336,7 +336,7 @@ impl Shared {
     }
 }
 
-type EditFn = Box<dyn FnOnce(&mut EditTxn) -> Result<(), CircuitError> + Send>;
+type EditFn = Box<dyn FnOnce(&mut EditTxn<'_>) -> Result<(), CircuitError> + Send>;
 
 pub(crate) enum Request {
     Edit {
@@ -478,7 +478,7 @@ impl SessionHandle {
     /// deadline, seeding retry jitter from the session id.
     pub fn edit<F>(&self, f: F) -> Result<EditOutcome, ServiceError>
     where
-        F: FnOnce(&mut EditTxn) -> Result<(), CircuitError> + Send + 'static,
+        F: FnOnce(&mut EditTxn<'_>) -> Result<(), CircuitError> + Send + 'static,
     {
         self.edit_with_deadline(f, self.cfg.default_deadline, self.shared.id.0)
     }
@@ -502,7 +502,7 @@ impl SessionHandle {
         seed: u64,
     ) -> Result<EditOutcome, ServiceError>
     where
-        F: FnOnce(&mut EditTxn) -> Result<(), CircuitError> + Send + 'static,
+        F: FnOnce(&mut EditTxn<'_>) -> Result<(), CircuitError> + Send + 'static,
     {
         let _quota = QuotaGuard::acquire(&self.shared, self.cfg.inflight_quota)?;
         self.call(

@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 
 use crate::graph::{Subflow, Taskflow, Work};
 use crate::observer::{ExecEvent, Observer};
+use crate::retained::{DirtyRunStats, RetainedGraph};
 
 /// Structured description of a task panic, returned by
 /// [`Executor::try_run`]. The graph is always drained before this is
@@ -94,6 +95,12 @@ enum RunWork {
     Dynamic(*const (dyn Fn(&mut Subflow<'static>) + Send + Sync)),
     /// A subflow child, created at runtime and executed exactly once.
     Child(UnsafeCell<Option<Box<dyn FnOnce() + Send>>>),
+    /// A retained-graph node body: calls the run-level `invoke` closure
+    /// (stored on the [`RunCtx`]) with this node's payload and chunk.
+    Invoke {
+        payload: u64,
+        chunk: u32,
+    },
 }
 
 struct RunNode {
@@ -131,6 +138,55 @@ struct RunCtx {
     /// First panic: the task's name plus its payload.
     panic: FirstPanic,
     done: Arc<DoneGate>,
+    /// Retained-run invoke closure; lifetime erased (`run_dirty` blocks,
+    /// so the borrow outlives every dereference). `None` for `Taskflow`
+    /// runs, which carry their closures in the nodes instead.
+    invoke: Option<*const (dyn Fn(u64, u32) + Send + Sync)>,
+}
+
+/// Reusable storage for retained-graph runs
+/// ([`Executor::run_dirty`]): the materialized run nodes, their address
+/// table, and the run context all survive between runs, growing to the
+/// dirty set's high-water mark so warm re-executions materialize without
+/// allocating.
+#[derive(Default)]
+pub(crate) struct RunPool {
+    #[allow(clippy::vec_box)]
+    nodes: Vec<Box<RunNode>>,
+    ptrs: Vec<*const RunNode>,
+    ctx: Option<Box<RunCtx>>,
+}
+
+// SAFETY: the raw pointers point into the individually boxed run nodes
+// owned by this pool (box contents do not move when the pool moves), and
+// they are only dereferenced during a blocking `run_dirty` call that
+// holds `&mut` access. Shared references expose no field at all.
+unsafe impl Send for RunPool {}
+unsafe impl Sync for RunPool {}
+
+/// Creates an inert pooled run node (overwritten before every use).
+fn blank_node() -> Box<RunNode> {
+    Box::new(RunNode {
+        name: Arc::from(""),
+        work: RunWork::Empty,
+        succs: Vec::new(),
+        join: AtomicUsize::new(0),
+        children: AtomicUsize::new(0),
+        parent: std::ptr::null(),
+        ctx: std::ptr::null(),
+    })
+}
+
+/// Rewrites a pooled run node for the next run, keeping the successor
+/// vector's capacity.
+fn reset_node(node: &mut RunNode, name: &Arc<str>, work: RunWork, join: usize, ctx: *const RunCtx) {
+    node.name = Arc::clone(name);
+    node.work = work;
+    node.succs.clear();
+    *node.join.get_mut() = join;
+    *node.children.get_mut() = 0;
+    node.parent = std::ptr::null();
+    node.ctx = ctx;
 }
 
 struct SleepCtl {
@@ -258,6 +314,246 @@ impl Executor {
         }
     }
 
+    /// Executes the dirty subset of a [`RetainedGraph`], blocking the
+    /// caller, and clears the dirty flags.
+    ///
+    /// Only edges between two dirty nodes gate execution — a clean
+    /// predecessor's output is already materialized, so it never blocks a
+    /// dirty successor. Each dirty node runs according to its chunk
+    /// shape: barriers complete immediately, single nodes call
+    /// `invoke(payload, 0)`, fans call `invoke(payload, chunk)` for every
+    /// chunk in parallel with successors gated on all of them.
+    ///
+    /// The materialization reuses the graph's internal run pool: after the
+    /// dirty set's high-water mark is reached, warm runs build no new
+    /// nodes and box no closures — the per-run cost is O(|dirty| +
+    /// dirty-incident edges), independent of graph size.
+    ///
+    /// Panics in `invoke` are contained exactly like [`Executor::try_run`]
+    /// task panics: the run is drained, downstream dirty nodes are
+    /// cancelled, and the first panic is reported as a [`TaskPanic`].
+    ///
+    /// # Panics
+    /// Panics if the dirty subset contains a dependency cycle (a
+    /// caller-side graph-construction bug).
+    pub fn run_dirty(
+        &self,
+        graph: &mut RetainedGraph,
+        invoke: &(dyn Fn(u64, u32) + Send + Sync),
+    ) -> Result<DirtyRunStats, TaskPanic> {
+        if graph.dirty.is_empty() {
+            return Ok(DirtyRunStats::default());
+        }
+        // Split borrows: the dirty list and the pool leave the graph for
+        // the duration of the run (their capacity is restored at the end).
+        let dirty = std::mem::take(&mut graph.dirty);
+        let mut pool = std::mem::take(&mut graph.pool);
+
+        // Pass 1: assign each dirty node its run-node range and size the
+        // pool. A fan of c chunks expands to entry + c leaves + exit.
+        let mut total = 0usize;
+        let mut stats = DirtyRunStats {
+            nodes_run: dirty.len(),
+            ..DirtyRunStats::default()
+        };
+        for &d in &dirty {
+            let node = &mut graph.nodes[d.key()];
+            debug_assert!(node.dirty, "stale entry in dirty list");
+            if !node.fresh {
+                stats.nodes_reused += 1;
+            }
+            stats.tasks_run += node.chunks as usize;
+            let size = if node.chunks > 1 {
+                node.chunks as usize + 2
+            } else {
+                1
+            };
+            node.run_entry = total as u32;
+            node.run_exit = (total + size - 1) as u32;
+            total += size;
+        }
+        while pool.nodes.len() < total {
+            pool.nodes.push(blank_node());
+        }
+        let ctx = pool.ctx.get_or_insert_with(|| {
+            Box::new(RunCtx {
+                _static_nodes: Vec::new(),
+                dynamic_nodes: Mutex::new(Vec::new()),
+                pending: AtomicUsize::new(0),
+                cancelled: AtomicBool::new(false),
+                panic: Mutex::new(None),
+                done: Arc::new(DoneGate {
+                    lock: Mutex::new(false),
+                    cv: Condvar::new(),
+                }),
+                invoke: None,
+            })
+        });
+        ctx.pending.store(total, Ordering::SeqCst);
+        ctx.cancelled.store(false, Ordering::SeqCst);
+        *ctx.panic.lock() = None;
+        *ctx.done.lock.lock() = false;
+        // SAFETY: erases the closure's lifetime; run_dirty blocks until
+        // every task completed, so the borrow outlives all dereferences
+        // (the same argument `run` makes for Taskflow closures).
+        ctx.invoke = Some(unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(u64, u32) + Send + Sync),
+                *const (dyn Fn(u64, u32) + Send + Sync),
+            >(invoke)
+        });
+        let ctx_ptr: *const RunCtx = &**ctx;
+        let done = Arc::clone(&ctx.done);
+
+        // Pass 2: rewrite the pooled run nodes and their internal fan
+        // wiring; cross edges (join counts) are patched in afterwards.
+        for &d in &dirty {
+            let (payload, chunks, name, entry) = {
+                let node = &graph.nodes[d.key()];
+                (
+                    node.payload,
+                    node.chunks,
+                    Arc::clone(&node.name),
+                    node.run_entry as usize,
+                )
+            };
+            if chunks > 1 {
+                reset_node(&mut pool.nodes[entry], &name, RunWork::Empty, 0, ctx_ptr);
+                for k in 0..chunks {
+                    reset_node(
+                        &mut pool.nodes[entry + 1 + k as usize],
+                        &name,
+                        RunWork::Invoke { payload, chunk: k },
+                        1,
+                        ctx_ptr,
+                    );
+                }
+                reset_node(
+                    &mut pool.nodes[entry + 1 + chunks as usize],
+                    &name,
+                    RunWork::Empty,
+                    chunks as usize,
+                    ctx_ptr,
+                );
+            } else {
+                let work = if chunks == 0 {
+                    RunWork::Empty
+                } else {
+                    RunWork::Invoke { payload, chunk: 0 }
+                };
+                reset_node(&mut pool.nodes[entry], &name, work, 0, ctx_ptr);
+            }
+        }
+        pool.ptrs.clear();
+        pool.ptrs
+            .extend(pool.nodes[..total].iter().map(|b| &**b as *const RunNode));
+        for &d in &dirty {
+            let node = &graph.nodes[d.key()];
+            if node.chunks > 1 {
+                let entry = node.run_entry as usize;
+                let exit = node.run_exit as usize;
+                for leaf in entry + 1..exit {
+                    let leaf_ptr = pool.ptrs[leaf];
+                    pool.nodes[entry].succs.push(leaf_ptr);
+                    pool.nodes[leaf].succs.push(pool.ptrs[exit]);
+                }
+            }
+        }
+
+        // Pass 3: cross edges between dirty nodes — exit(pred) gates
+        // entry(succ). Clean neighbours are skipped entirely.
+        for &d in &dirty {
+            let (exit, nsuccs) = {
+                let node = &graph.nodes[d.key()];
+                (node.run_exit as usize, node.succs.len())
+            };
+            for i in 0..nsuccs {
+                let s = graph.nodes[d.key()].succs[i];
+                let succ = &graph.nodes[s.key()];
+                if !succ.dirty {
+                    continue;
+                }
+                let sentry = succ.run_entry as usize;
+                let sptr = pool.ptrs[sentry];
+                pool.nodes[exit].succs.push(sptr);
+                *pool.nodes[sentry].join.get_mut() += 1;
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            // Kahn's algorithm over the materialized subset: a cycle here
+            // would strand the pending counter and hang the run.
+            let idx_of: std::collections::HashMap<*const RunNode, usize> = pool.ptrs[..total]
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, p)| (p, i))
+                .collect();
+            let mut indeg: Vec<usize> = pool.nodes[..total]
+                .iter()
+                .map(|n| n.join.load(Ordering::Relaxed))
+                .collect();
+            let mut stack: Vec<usize> = indeg
+                .iter()
+                .enumerate()
+                .filter(|&(_, &deg)| deg == 0)
+                .map(|(i, _)| i)
+                .collect();
+            let mut seen = 0usize;
+            while let Some(i) = stack.pop() {
+                seen += 1;
+                for s in &pool.nodes[i].succs {
+                    let j = idx_of[s];
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        stack.push(j);
+                    }
+                }
+            }
+            debug_assert_eq!(seen, total, "retained dirty subset has a dependency cycle");
+        }
+
+        // Publish the roots and wait for the drain.
+        let mut any_root = false;
+        for &d in &dirty {
+            let entry = graph.nodes[d.key()].run_entry as usize;
+            if *pool.nodes[entry].join.get_mut() == 0 {
+                any_root = true;
+                self.inner.injector.push(Job(pool.ptrs[entry]));
+            }
+        }
+        assert!(
+            any_root,
+            "retained dirty subset has no root: dependency cycle"
+        );
+        wake_workers(&self.inner);
+        {
+            let mut flag = done.lock.lock();
+            while !*flag {
+                done.cv.wait(&mut flag);
+            }
+        }
+
+        // The run is drained: clear the dirty window and return the pool.
+        for &d in &dirty {
+            let node = &mut graph.nodes[d.key()];
+            node.dirty = false;
+            node.fresh = false;
+        }
+        graph.dirty = dirty;
+        graph.dirty.clear();
+        let payload = pool.ctx.as_ref().and_then(|ctx| ctx.panic.lock().take());
+        graph.pool = pool;
+        match payload {
+            None => Ok(stats),
+            Some((task, payload)) => Err(TaskPanic {
+                task,
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
     /// Shared body of [`run`](Executor::run)/[`try_run`](Executor::try_run):
     /// executes the graph and returns the first task panic, if any.
     fn run_inner<'env>(
@@ -322,6 +618,7 @@ impl Executor {
                 lock: Mutex::new(false),
                 cv: Condvar::new(),
             }),
+            invoke: None,
         });
         let ctx_ptr: *const RunCtx = &*ctx;
         for b in &ctx._static_nodes {
@@ -510,6 +807,21 @@ unsafe fn execute(job: Job, inner: &Inner, local: &WorkerDeque<Job>, widx: usize
                     })) {
                         record_panic(ctx, &node.name, p);
                     }
+                }
+            }
+        }
+        RunWork::Invoke { payload, chunk } => {
+            if !cancelled {
+                let f = ctx.invoke.expect("Invoke node outside a retained run");
+                // SAFETY: run_dirty blocks until this run completes, so
+                // the caller's closure outlives every dereference.
+                let f = unsafe { &*f };
+                let (payload, chunk) = (*payload, *chunk);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    task_probe();
+                    f(payload, chunk)
+                })) {
+                    record_panic(ctx, &node.name, p);
                 }
             }
         }

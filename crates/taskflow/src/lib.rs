@@ -37,10 +37,12 @@
 pub mod executor;
 pub mod graph;
 pub mod observer;
+pub mod retained;
 
 pub use executor::{Executor, TaskPanic};
 pub use graph::{SubTaskRef, Subflow, TaskRef, Taskflow};
 pub use observer::{ExecEvent, Observer};
+pub use retained::{DirtyRunStats, NodeId, RetainedGraph};
 
 /// A sensible default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {

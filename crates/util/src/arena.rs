@@ -28,6 +28,24 @@ impl Key {
     pub fn index(self) -> usize {
         self.index as usize
     }
+
+    /// Packs the key into a `u64` for storage in non-generic containers
+    /// (e.g. a retained task-graph node's payload). Round-trips exactly
+    /// through [`Key::from_bits`].
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.generation)
+    }
+
+    /// Reverses [`Key::to_bits`]. The result is only meaningful for bit
+    /// patterns produced by `to_bits` on a key of the same arena.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Key {
+        Key {
+            index: (bits >> 32) as u32,
+            generation: bits as u32,
+        }
+    }
 }
 
 impl std::fmt::Debug for Key {
@@ -251,6 +269,87 @@ impl<T> Arena<T> {
     }
 }
 
+/// Predicts the keys future [`Arena::insert`] calls will return without
+/// mutating — or cloning — the arena.
+///
+/// An arena reuses slots LIFO: `remove` pushes the slot onto the head of
+/// the intrusive free list and `insert` pops the head, bumping the
+/// slot's generation. A predictor replays exactly that discipline
+/// against an *immutable* base arena: staged removals go onto a local
+/// stack that shadows the head of the real free list, and predicted
+/// inserts pop the local stack first, then walk the base arena's chain
+/// via a cursor. Every operation is O(1); nothing is copied up front.
+///
+/// The predictions are only valid while the base arena is not mutated.
+/// A transactional overlay ([`crate::LinkedArena`] nets, circuit gates)
+/// holds the predictor for the duration of one staged batch and commits
+/// by replaying the same operations on the real arena, which then hands
+/// out precisely the predicted keys.
+#[derive(Clone, Debug)]
+pub struct IdPredictor {
+    /// Staged removals (and staged re-removals of predicted inserts),
+    /// LIFO: the top of this stack is reused before the base chain.
+    staged_free: Vec<(u32, u32)>,
+    /// Cursor into the base arena's free chain (`u32::MAX` = exhausted).
+    chain: u32,
+    /// First never-used slot index in the base arena.
+    next_fresh: u32,
+}
+
+impl IdPredictor {
+    /// Predicts the key the next `insert` on `base` would return, after
+    /// the staged operations already predicted through `self`.
+    pub fn predict_insert<T>(&mut self, base: &Arena<T>) -> Key {
+        if let Some((index, generation)) = self.staged_free.pop() {
+            return Key {
+                index,
+                generation: generation.wrapping_add(1),
+            };
+        }
+        if self.chain != u32::MAX {
+            let index = self.chain;
+            let (next_free, generation) = match base.slots[index as usize] {
+                Slot::Free {
+                    next_free,
+                    generation,
+                } => (next_free, generation),
+                Slot::Occupied { .. } => {
+                    unreachable!("predictor chain points at occupied slot (base arena mutated?)")
+                }
+            };
+            self.chain = next_free;
+            return Key {
+                index,
+                generation: generation.wrapping_add(1),
+            };
+        }
+        let index = self.next_fresh;
+        self.next_fresh = index.checked_add(1).expect("arena overflow");
+        Key {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// Records a staged removal of `key`, making its slot the next one a
+    /// predicted insert reuses (the arena's LIFO discipline).
+    pub fn predict_remove(&mut self, key: Key) {
+        self.staged_free.push((key.index, key.generation));
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an [`IdPredictor`] positioned at this arena's current
+    /// free-list head. Valid until the arena is next mutated.
+    pub fn predictor(&self) -> IdPredictor {
+        IdPredictor {
+            staged_free: Vec::new(),
+            chain: self.free_head,
+            next_fresh: self.slots.len() as u32,
+        }
+    }
+}
+
 impl<T> std::ops::Index<Key> for Arena<T> {
     type Output = T;
     #[inline]
@@ -401,6 +500,43 @@ mod tests {
         assert_eq!(a[id.key()], 7);
         assert_ne!(id, TestId::DANGLING);
         assert!(format!("{id:?}").starts_with("TestId"));
+    }
+
+    #[test]
+    fn predictor_matches_real_inserts() {
+        let mut a = Arena::new();
+        let ks: Vec<_> = (0..6).map(|i| a.insert(i)).collect();
+        a.remove(ks[1]);
+        a.remove(ks[4]);
+        // Free chain is now [4, 1]; fresh slots start at 6.
+        let mut p = a.predictor();
+        let mut predicted = Vec::new();
+        // A staged remove shadows the chain head …
+        p.predict_remove(ks[2]);
+        for _ in 0..5 {
+            predicted.push(p.predict_insert(&a));
+        }
+        // … replay the same ops for real and compare.
+        a.remove(ks[2]);
+        let got: Vec<_> = (0..5).map(|i| a.insert(100 + i)).collect();
+        assert_eq!(predicted, got);
+    }
+
+    #[test]
+    fn predictor_reuses_its_own_predictions_lifo() {
+        let mut a = Arena::new();
+        let k0 = a.insert(0);
+        let mut p = a.predictor();
+        p.predict_remove(k0);
+        let k1 = p.predict_insert(&a); // reuses slot 0, generation 1
+        p.predict_remove(k1);
+        let k2 = p.predict_insert(&a); // reuses again, generation 2
+        let fresh = p.predict_insert(&a);
+        a.remove(k0);
+        assert_eq!(a.insert(1), k1);
+        a.remove(k1);
+        assert_eq!(a.insert(2), k2);
+        assert_eq!(a.insert(3), fresh);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod bitset;
 pub mod disjoint;
 pub mod linked;
 
-pub use arena::{Arena, Key};
+pub use arena::{Arena, IdPredictor, Key};
 pub use bitset::BitSet;
 pub use disjoint::DisjointSlice;
 pub use linked::LinkedArena;

@@ -134,6 +134,29 @@ impl<T> LinkedArena<T> {
         }
     }
 
+    /// Creates an [`crate::IdPredictor`] over this list's node arena.
+    /// Keys handed out by `push_front`/`push_back`/`insert_after`/
+    /// `insert_before` come from that arena in *call* order — where the
+    /// element lands in the list does not affect its key — so a staged
+    /// overlay can predict them through
+    /// [`LinkedArena::predict_insert`]/[`LinkedArena::predict_remove`]
+    /// without cloning the list. Valid until the list is next mutated.
+    pub fn predictor(&self) -> crate::IdPredictor {
+        self.nodes.predictor()
+    }
+
+    /// Predicts the key the next insertion (any position) would return.
+    #[inline]
+    pub fn predict_insert(&self, p: &mut crate::IdPredictor) -> Key {
+        p.predict_insert(&self.nodes)
+    }
+
+    /// Records a staged removal of `key` in the predictor.
+    #[inline]
+    pub fn predict_remove(&self, p: &mut crate::IdPredictor, key: Key) {
+        p.predict_remove(key);
+    }
+
     /// Number of elements.
     #[inline]
     pub fn len(&self) -> usize {

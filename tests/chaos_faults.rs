@@ -102,6 +102,7 @@ fn run_scenario(ckt: &mut Ckt) -> Result<(), EngineError> {
 /// assertion below keeps this list honest: a renamed or dropped probe
 /// fails the suite instead of silently shrinking the injection space.
 const EXPECTED_SITES: &[&str] = &[
+    "engine/graph_patch",
     "engine/insert_gate",
     "engine/remove_gate",
     "engine/update_build",
@@ -116,6 +117,7 @@ const EXPECTED_SITES: &[&str] = &[
     "taskflow/task",
     "txn/commit_op",
     "txn/edit_begin",
+    "txn/overlay_commit",
 ];
 
 fn traced_sites() -> Vec<(String, u64)> {
