@@ -136,73 +136,8 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
-/// The MVCC payoff: N threads sweep amplitudes of one published snapshot
-/// concurrently while the main thread keeps editing + republishing. The
-/// live `&Ckt` query path cannot run this protocol at all (readers would
-/// serialize behind the writer's `&mut`), so the series measures reader
-/// scaling of the snapshot surface plus writer-isolation overhead.
-fn bench_snapshot_readers(c: &mut Criterion) {
-    let circuit = qtask_bench_circuits::build("qft", Some(14)).unwrap();
-    let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
-    let extra_net = ckt.push_net();
-    ckt.update_state().unwrap();
-    let mut g = c.benchmark_group("snapshot_readers");
-    g.sample_size(10);
-    const READS: usize = 20_000;
-    let sweep = |snap: &qtask_core::StateSnapshot, salt: usize| {
-        let mask = snap.state_len() - 1;
-        let mut acc = 0.0f64;
-        let mut i = salt;
-        for _ in 0..READS {
-            i = (i + 4097) & mask;
-            acc += snap.amplitude(i).norm_sqr();
-        }
-        acc
-    };
-    for readers in [1usize, 2, 4, 8] {
-        let snap = ckt.latest_snapshot().expect("update publishes");
-        g.bench_function(format!("{READS}_reads_x{readers}_threads"), |b| {
-            b.iter(|| {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..readers)
-                        .map(|r| {
-                            let snap = snap.clone();
-                            scope.spawn(move || sweep(&snap, r * 31))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("reader"))
-                        .sum::<f64>()
-                })
-            })
-        });
-    }
-    // Readers on version v while the writer toggles and republishes v+1,
-    // v+2, …: the isolation case (pinned blocks fork on rewrite).
-    let pinned = ckt.latest_snapshot().expect("update publishes");
-    g.bench_function(format!("{READS}_reads_x4_threads_while_writing"), |b| {
-        b.iter(|| {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..4)
-                    .map(|r| {
-                        let snap = pinned.clone();
-                        scope.spawn(move || sweep(&snap, r * 31))
-                    })
-                    .collect();
-                let gid = ckt.insert_gate(GateKind::Z, extra_net, &[0]).unwrap();
-                ckt.update_state().unwrap();
-                ckt.remove_gate(gid).unwrap();
-                ckt.update_state().unwrap();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("reader"))
-                    .sum::<f64>()
-            })
-        })
-    });
-    g.finish();
-}
+// The concurrent snapshot-reader protocol lives in the standalone
+// `snapshot_readers` bench now (it emits `BENCH_snapshot.json`).
 
 /// Builds a depth-`depth` T-gate chain on the top qubit. Every chain row
 /// owns only the top half of the blocks, so reads of bottom-half blocks
@@ -285,7 +220,6 @@ criterion_group!(
     bench_executor,
     bench_incremental_update,
     bench_query,
-    bench_snapshot_readers,
     bench_deep_chain_resolution
 );
 criterion_main!(benches);

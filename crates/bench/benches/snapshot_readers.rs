@@ -1,0 +1,96 @@
+//! Concurrent snapshot-reader scaling (the MVCC payoff).
+//!
+//! N threads sweep amplitudes of one published snapshot concurrently
+//! while — in the isolation series — the main thread keeps editing and
+//! republishing. The live `&Ckt` query path cannot run this protocol at
+//! all (readers would serialize behind the writer's `&mut`), so the
+//! series measures reader scaling of the snapshot surface plus
+//! writer-isolation overhead, and emits `BENCH_snapshot.json` at the
+//! workspace root as the checked-in trajectory point.
+
+use qtask_bench::{harness_init, median_of, write_bench_json, Opts};
+use qtask_core::{Ckt, SimConfig, StateSnapshot};
+use qtask_gates::GateKind;
+use std::time::Instant;
+
+const READS: usize = 20_000;
+
+fn sweep(snap: &StateSnapshot, salt: usize) -> f64 {
+    let mask = snap.state_len() - 1;
+    let mut acc = 0.0f64;
+    let mut i = salt;
+    for _ in 0..READS {
+        i = (i + 4097) & mask;
+        acc += snap.amplitude(i).norm_sqr();
+    }
+    acc
+}
+
+/// One timed round: `readers` threads sweep `snap`; when `write` is set
+/// the main thread toggles + republishes twice underneath them.
+fn round_ms(ckt: &mut Ckt, snap: &StateSnapshot, readers: usize, write: bool) -> f64 {
+    let extra_net = ckt
+        .circuit()
+        .nets()
+        .last()
+        .map(|(id, _)| id)
+        .expect("trailing net");
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let snap = snap.clone();
+                scope.spawn(move || sweep(&snap, r * 31))
+            })
+            .collect();
+        if write {
+            let gid = ckt.insert_gate(GateKind::Z, extra_net, &[0]).unwrap();
+            ckt.update_state().unwrap();
+            ckt.remove_gate(gid).unwrap();
+            ckt.update_state().unwrap();
+        }
+        for h in handles {
+            let _ = h.join().expect("reader");
+        }
+    });
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    harness_init();
+    let opts = Opts::from_env();
+    let reps = opts.reps.max(5);
+    let circuit = qtask_bench_circuits::build("qft", Some(14)).unwrap();
+    let mut ckt = Ckt::from_circuit(&circuit, SimConfig::default());
+    ckt.push_net(); // dedicated trailing net for the writer's toggles
+    ckt.update_state().unwrap();
+
+    println!("\nSnapshot reader scaling — qft14, {READS} reads/thread (median of {reps}):");
+    println!("{:<26} {:>10}", "series", "ms");
+
+    let mut rows_json = Vec::new();
+    for readers in [1usize, 2, 4, 8] {
+        let snap = ckt.latest_snapshot().expect("update publishes");
+        let ms = median_of(reps, || round_ms(&mut ckt, &snap, readers, false));
+        println!("{:<26} {ms:>10.3}", format!("x{readers}_threads"));
+        rows_json.push(format!(
+            "    {{\"readers\": {readers}, \"writer\": false, \"ms\": {ms:.4}}}"
+        ));
+    }
+    // Readers pinned on version v while the writer publishes v+1, v+2, …:
+    // the isolation case (pinned blocks fork on rewrite).
+    let pinned = ckt.latest_snapshot().expect("update publishes");
+    let ms = median_of(reps, || round_ms(&mut ckt, &pinned, 4, true));
+    println!("{:<26} {ms:>10.3}", "x4_threads_while_writing");
+    rows_json.push(format!(
+        "    {{\"readers\": 4, \"writer\": true, \"ms\": {ms:.4}}}"
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_readers\",\n  \"circuit\": \"qft14\",\n  \
+         \"reads_per_thread\": {READS},\n  \"reps\": {reps},\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    );
+    write_bench_json("BENCH_snapshot.json", &json);
+}

@@ -8,6 +8,9 @@
 //! Scale knobs: see `qtask_bench::Opts` (QTASK_BENCH_MAX_QUBITS caps the
 //! big_* circuits; QTASK_BENCH_FULL=1 uses paper-exact sizes — the
 //! 26-qubit big_ising then needs ~100 GB like the paper reports).
+//!
+//! Emits `BENCH_overall.json` at the workspace root as the checked-in
+//! trajectory point.
 
 use qtask_bench::*;
 use qtask_circuit::CircuitStats;
@@ -51,6 +54,7 @@ fn main() {
     let mut speedup_full = [Vec::new(), Vec::new()]; // vs qulacs, vs qiskit
     let mut speedup_inc = [Vec::new(), Vec::new()];
     let mut mem_ratio = [Vec::new(), Vec::new()];
+    let mut rows_json = Vec::new();
     for entry in qtask_bench_circuits::catalog() {
         let (circuit, n) = opts.build_circuit(entry.name);
         let stats = CircuitStats::of(&circuit);
@@ -110,6 +114,13 @@ fn main() {
             format!("{:.2}", entry.paper.qtask.2),
             entry.paper.qubits,
         );
+        rows_json.push(format!(
+            "    {{\"circuit\": \"{}\", \"qubits\": {n}, \"gates\": {}, \
+             \"qulacs_full_ms\": {:.4}, \"qulacs_inc_ms\": {:.4}, \"qulacs_peak_bytes\": {}, \
+             \"qiskit_full_ms\": {:.4}, \"qiskit_inc_ms\": {:.4}, \"qiskit_peak_bytes\": {}, \
+             \"qtask_full_ms\": {:.4}, \"qtask_inc_ms\": {:.4}, \"qtask_peak_bytes\": {}}}",
+            entry.name, stats.gates, qul.0, qul.1, qul.2, qis.0, qis.1, qis.2, qt.0, qt.1, qt.2,
+        ));
         speedup_full[0].push(qul.0 / qt.0);
         speedup_full[1].push(qis.0 / qt.0);
         speedup_inc[0].push(qul.1 / qt.1);
@@ -136,4 +147,22 @@ fn main() {
         geomean(&mem_ratio[0]),
         geomean(&mem_ratio[1]),
     );
+
+    let json = format!(
+        "{{\n  \"bench\": \"table3_overall\",\n  \"threads\": {},\n  \
+         \"reps\": {},\n  \"max_qubits\": {},\n  \"full\": {},\n  \
+         \"geomean\": {{\"full_vs_qulacs\": {:.4}, \"full_vs_qiskit\": {:.4}, \
+         \"inc_vs_qulacs\": {:.4}, \"inc_vs_qiskit\": {:.4}}},\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        opts.threads,
+        opts.reps,
+        opts.max_qubits,
+        opts.full,
+        geomean(&speedup_full[0]),
+        geomean(&speedup_full[1]),
+        geomean(&speedup_inc[0]),
+        geomean(&speedup_inc[1]),
+        rows_json.join(",\n")
+    );
+    write_bench_json("BENCH_overall.json", &json);
 }

@@ -2,12 +2,14 @@
 
 use crate::config::{KernelPolicy, NumericalPolicy, RowOrderPolicy, SimConfig, SnapshotPolicy};
 use crate::cow::{BlockData, RowVector};
+use crate::delta::{BlockDelta, SnapshotObserver};
 use crate::error::{payload_text, EngineError, InvariantViolation};
 use crate::exec::{self, ExecView};
 use crate::owners::{OwnerIndex, ResolveStats};
 use crate::queries::QueryReport;
 use crate::row::{DenseFactor, PartId, Partition, Row, RowId, RowKind};
 use crate::snapshot::{SnapInner, StateSnapshot};
+use crate::spine::Spine;
 use qtask_circuit::{Circuit, CircuitError, Gate, GateId, NetId};
 use qtask_gates::GateKind;
 use qtask_partition::{derive_partitions, BlockGeometry, LoweredGate, PartitionSpec};
@@ -216,6 +218,9 @@ pub struct Ckt {
     pub(crate) snap_dirty: HashSet<usize>,
     /// Snapshot publication counter ([`StateSnapshot::version`]).
     snapshot_seq: u64,
+    /// Publication hooks, notified (with the [`BlockDelta`] write set)
+    /// after every publish. Carried across [`Ckt::recover`].
+    observers: Vec<Arc<dyn SnapshotObserver>>,
     gate_seq: u64,
     /// Why the engine is poisoned, if it is. Set by panic containment and
     /// numerical-policy violations; cleared only by [`Ckt::recover`]
@@ -286,6 +291,7 @@ impl Ckt {
             latest: None,
             snap_dirty: HashSet::new(),
             snapshot_seq: 0,
+            observers: Vec::new(),
             gate_seq: 0,
             poison: None,
             block_norms,
@@ -413,14 +419,25 @@ impl Ckt {
             },
         ));
         match rebuilt {
-            Ok(Ok((fresh, update))) => {
+            Ok(Ok((mut fresh, update))) => {
                 let report = RecoveryReport {
                     update,
                     elapsed: t0.elapsed(),
                     rows: fresh.num_rows(),
                     partitions: fresh.num_partitions(),
                 };
+                // Observers outlive the engine they were attached to: the
+                // rebuilt engine inherits them and announces its recovery
+                // publication as a from-scratch rebuild (its update above
+                // ran with no observers attached, so nothing fired yet).
+                fresh.observers = std::mem::take(&mut self.observers);
                 *self = fresh;
+                if let Some(snap) = self.latest.clone() {
+                    let delta = BlockDelta::full_refresh(&snap);
+                    for obs in &self.observers {
+                        obs.on_publish(&snap, &delta);
+                    }
+                }
                 qtask_obs::counter!("core.recoveries").inc();
                 qtask_obs::histogram!("core.recover_us").record_duration_us(report.elapsed);
                 Ok(report)
@@ -1166,9 +1183,11 @@ impl Ckt {
             }
             SnapshotPolicy::Disabled => {
                 let stats = ResolveStats::default();
-                let blocks = (0..self.geom.num_blocks())
-                    .map(|b| self.resolve_final_data(b, &stats))
-                    .collect();
+                let mut blocks = Spine::new(self.geom.num_blocks());
+                for b in 0..blocks.len() {
+                    let data = self.resolve_final_data(b, &stats);
+                    blocks.set(b, data);
+                }
                 Ok(self.assemble_snapshot(blocks, &stats))
             }
         }
@@ -1177,23 +1196,25 @@ impl Ckt {
     /// Takes the previous snapshot's block spine for reuse, dropping the
     /// entries of every [`Ckt::snap_dirty`] block. When the engine is the
     /// sole holder the spine is stolen outright (the dropped entries
-    /// unpin their buffers for reclamation); when readers share it, their
-    /// pins survive in their own handle and the engine works on a clone.
-    /// Returns the spine and whether the upcoming capture must resolve
-    /// *every* block (no previous snapshot to reuse).
-    fn detach_spine(&mut self) -> (Vec<Option<BlockData>>, bool) {
+    /// unpin their buffers for reclamation); when readers share it, the
+    /// chunked [`Spine`] clone costs O(chunks) `Arc` bumps and only the
+    /// chunks the dirty set lands in are forked — a pinned reader prices
+    /// the *delta*, not the state. Returns the spine and whether the
+    /// upcoming capture must resolve *every* block (no previous snapshot
+    /// to reuse).
+    fn detach_spine(&mut self) -> (Spine, bool) {
         match self.latest.take() {
             Some(snap) => {
-                let mut blocks = match Arc::try_unwrap(snap.inner) {
+                let mut spine = match Arc::try_unwrap(snap.inner) {
                     Ok(inner) => inner.blocks,
                     Err(shared) => shared.blocks.clone(),
                 };
                 for &b in &self.snap_dirty {
-                    blocks[b] = None;
+                    spine.set(b, None);
                 }
-                (blocks, false)
+                (spine, false)
             }
-            None => (vec![None; self.geom.num_blocks()], true),
+            None => (Spine::new(self.geom.num_blocks()), true),
         }
     }
 
@@ -1205,18 +1226,15 @@ impl Ckt {
     /// Norm conservation is checked incrementally: only the re-resolved
     /// blocks' entries of the per-block norm cache are recomputed, so the
     /// check costs O(write set), like the capture itself.
-    fn publish_spine(
-        &mut self,
-        mut blocks: Vec<Option<BlockData>>,
-        resolve_all: bool,
-    ) -> Result<u64, EngineError> {
+    fn publish_spine(&mut self, mut blocks: Spine, resolve_all: bool) -> Result<u64, EngineError> {
         let _snapshot_span = qtask_obs::span!("update/snapshot");
         let stats = ResolveStats::default();
         let resolve_span = qtask_obs::span!("update/resolve");
         if resolve_all {
-            for (b, slot) in blocks.iter_mut().enumerate() {
-                *slot = self.resolve_final_data(b, &stats);
-                self.block_norms[b] = block_norm(b, slot);
+            for b in 0..blocks.len() {
+                let data = self.resolve_final_data(b, &stats);
+                self.block_norms[b] = block_norm(b, &data);
+                blocks.set(b, data);
             }
         } else {
             // Take the dirty set so its iteration doesn't hold `&self`
@@ -1224,12 +1242,23 @@ impl Ckt {
             // below to keep the warm path allocation-free.
             let snap_dirty = std::mem::take(&mut self.snap_dirty);
             for &b in &snap_dirty {
-                blocks[b] = self.resolve_final_data(b, &stats);
-                self.block_norms[b] = block_norm(b, &blocks[b]);
+                let data = self.resolve_final_data(b, &stats);
+                self.block_norms[b] = block_norm(b, &data);
+                blocks.set(b, data);
             }
             self.snap_dirty = snap_dirty;
         }
         drop(resolve_span);
+        // The write set becomes this publication's delta — captured
+        // before the dirty set is cleared, skipped (no allocation) when
+        // nobody listens.
+        let delta_dirty = if self.observers.is_empty() || resolve_all {
+            Vec::new()
+        } else {
+            let mut d: Vec<usize> = self.snap_dirty.iter().copied().collect();
+            d.sort_unstable();
+            d
+        };
         self.snap_dirty.clear();
         let total: f64 = self.block_norms.iter().sum();
         if !total.is_finite() {
@@ -1242,6 +1271,8 @@ impl Ckt {
         }
         let drift = (total - 1.0).abs();
         self.last_norm_error = drift;
+        let prev_version = self.snapshot_seq;
+        let prev_scale = self.renorm_scale;
         if drift > self.config.norm_tolerance {
             self.drift_events += 1;
             qtask_obs::counter!("core.drift_events").inc();
@@ -1262,17 +1293,35 @@ impl Ckt {
         }
         let resolved = stats.snapshot().0;
         self.latest = Some(self.assemble_snapshot(blocks, &stats));
+        if !self.observers.is_empty() {
+            let snap = self.latest.clone().expect("snapshot just published");
+            let delta = BlockDelta {
+                version: snap.version(),
+                prev_version,
+                dirty: delta_dirty,
+                full: resolve_all,
+                scale: self.renorm_scale,
+                prev_scale,
+            };
+            for obs in &self.observers {
+                obs.on_publish(&snap, &delta);
+            }
+        }
         Ok(resolved)
+    }
+
+    /// Registers a publication observer (e.g. a view registry). The hook
+    /// runs synchronously on the writer inside every publish; see
+    /// [`SnapshotObserver`] for the contract. Observers survive
+    /// [`Ckt::recover`].
+    pub fn attach_observer(&mut self, observer: Arc<dyn SnapshotObserver>) {
+        self.observers.push(observer);
     }
 
     /// Wraps a resolved block spine into the next snapshot version,
     /// recording the capture work `stats` accumulated. Shared by
     /// published and one-off captures.
-    fn assemble_snapshot(
-        &mut self,
-        blocks: Vec<Option<BlockData>>,
-        stats: &ResolveStats,
-    ) -> StateSnapshot {
+    fn assemble_snapshot(&mut self, blocks: Spine, stats: &ResolveStats) -> StateSnapshot {
         let (blocks_resolved, owner_probes) = stats.snapshot();
         self.snapshot_seq += 1;
         StateSnapshot {

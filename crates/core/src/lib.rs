@@ -38,6 +38,7 @@
 pub mod config;
 pub(crate) mod coverage;
 pub mod cow;
+pub mod delta;
 pub mod dump;
 pub mod engine;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod pgraph;
 pub mod queries;
 pub mod row;
 pub mod snapshot;
+pub mod spine;
 #[doc(hidden)]
 pub mod test_support;
 pub mod txn;
@@ -55,10 +57,12 @@ pub mod txn;
 pub use config::{
     KernelPolicy, NumericalPolicy, ResolvePolicy, RowOrderPolicy, SimConfig, SnapshotPolicy,
 };
+pub use delta::{BlockDelta, SnapshotObserver};
 pub use engine::{Ckt, RecoveryReport, UpdateReport};
 pub use error::{EngineError, InvariantViolation};
 pub use owners::OwnerIndex;
 pub use queries::QueryReport;
 pub use row::{PartId, RowId};
 pub use snapshot::StateSnapshot;
+pub use spine::Spine;
 pub use txn::{EditReceipt, EditTxn};

@@ -4,7 +4,8 @@
 //! [`crate::Ckt::update_state`] publishes a [`StateSnapshot`] of the
 //! freshly resolved state (unless [`crate::SnapshotPolicy::Disabled`]).
 //! A snapshot is a cheap handle (`Arc` clone) over the per-block
-//! [`BlockData`] buffers that were current at capture time; it is
+//! [`crate::cow::BlockData`] buffers that were current at capture time;
+//! it is
 //! `Send + Sync`, so any number of threads can query version *v* while
 //! the owning thread edits the circuit and builds version *v+1*.
 //!
@@ -28,8 +29,8 @@
 //! surfaced in [`crate::UpdateReport::snapshot_blocks_resolved`] and
 //! [`StateSnapshot::capture_report`].
 
-use crate::cow::BlockData;
 use crate::queries::QueryReport;
+use crate::spine::Spine;
 use qtask_num::Complex64;
 use qtask_partition::BlockGeometry;
 use std::sync::Arc;
@@ -37,9 +38,11 @@ use std::sync::Arc;
 pub(crate) struct SnapInner {
     pub(crate) version: u64,
     pub(crate) geom: BlockGeometry,
-    /// Resolved final view, one entry per block; `None` is the implicit
-    /// |0…0⟩ initial block (amplitude 1 at global index 0).
-    pub(crate) blocks: Vec<Option<BlockData>>,
+    /// Resolved final view, one slot per block; `None` is the implicit
+    /// |0…0⟩ initial block (amplitude 1 at global index 0). Chunked
+    /// copy-on-write ([`Spine`]): a pinned reader shares chunks with the
+    /// writer's next version instead of forcing a flat O(blocks) clone.
+    pub(crate) blocks: Spine,
     /// Resolution work the capture performed (incremental: only blocks
     /// dirtied since the previous snapshot are re-resolved).
     pub(crate) capture_report: QueryReport,
@@ -58,7 +61,7 @@ impl SnapInner {
     pub(crate) fn new(
         version: u64,
         geom: BlockGeometry,
-        blocks: Vec<Option<BlockData>>,
+        blocks: Spine,
         capture_report: QueryReport,
         scale: f64,
     ) -> SnapInner {
@@ -123,7 +126,7 @@ impl StateSnapshot {
 
     #[inline]
     fn read(&self, block: usize, offset: usize) -> Complex64 {
-        match &self.inner.blocks[block] {
+        match self.inner.blocks.get(block) {
             Some(d) => d[offset],
             None => {
                 if block == 0 && offset == 0 {
@@ -133,6 +136,18 @@ impl StateSnapshot {
                 }
             }
         }
+    }
+
+    /// The raw, **unscaled** amplitudes of block `b`, or `None` for an
+    /// implicit initial block (all zero, except amplitude 1 at global
+    /// index 0 when `b == 0`). This is the bulk-read surface for
+    /// delta-maintained consumers (qtask-views): per-block partial
+    /// aggregates are computed from the unscaled buffers so a
+    /// scale-only change re-weights them in O(1). Multiply by
+    /// [`StateSnapshot::scale`] to recover the amplitudes the scalar
+    /// queries report.
+    pub fn raw_block(&self, b: usize) -> Option<&[Complex64]> {
+        self.inner.blocks.get(b).as_deref().map(|v| v.as_slice())
     }
 
     /// The amplitude of basis state `idx`.
@@ -303,7 +318,7 @@ mod tests {
             inner: Arc::new(SnapInner::new(
                 1,
                 geom,
-                vec![None; geom.num_blocks()],
+                Spine::new(geom.num_blocks()),
                 QueryReport::default(),
                 1.0,
             )),

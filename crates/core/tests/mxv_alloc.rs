@@ -211,3 +211,54 @@ fn publish_policy_forks_only_for_live_readers() {
     );
     drop(reader);
 }
+
+/// The chunked spine's payoff: a *long-lived* reader — one that keeps an
+/// old version pinned across many publications — stops perturbing the
+/// writer. Only the first toggle after pinning pays copy-on-write forks
+/// (the write set and its spine chunks detach from the pinned version);
+/// every toggle after that runs the ordinary detach path and must match
+/// the unpinned warm allocation profile exactly, version after version.
+#[test]
+fn long_lived_reader_does_not_perturb_warm_profile() {
+    let mut cfg = SimConfig::with_block_size(8);
+    cfg.num_threads = 1;
+    let mut ckt = Ckt::with_config(6, cfg);
+    let net = ckt.push_net();
+    ckt.insert_gate(GateKind::H, net, &[1]).unwrap();
+    let tail = ckt.push_net();
+    ckt.insert_gate(GateKind::X, tail, &[2]).unwrap();
+    ckt.update_state().unwrap();
+    let toggle = |ckt: &mut Ckt| {
+        let gid = ckt.insert_gate(GateKind::Z, tail, &[1]).unwrap();
+        ckt.update_state().unwrap();
+        ckt.remove_gate(gid).unwrap();
+        ckt.update_state().unwrap();
+    };
+    toggle(&mut ckt);
+    toggle(&mut ckt);
+    let before = CountingAlloc::alloc_calls();
+    toggle(&mut ckt);
+    let unpinned = CountingAlloc::alloc_calls() - before;
+
+    let reader = ckt.latest_snapshot().expect("publish policy");
+    let pinned_version = reader.version();
+    let pinned_state = reader.state();
+    // The toggle right after pinning is the only one allowed to fork.
+    toggle(&mut ckt);
+    let before = CountingAlloc::alloc_calls();
+    toggle(&mut ckt);
+    let first = CountingAlloc::alloc_calls() - before;
+    let before = CountingAlloc::alloc_calls();
+    toggle(&mut ckt);
+    let second = CountingAlloc::alloc_calls() - before;
+    assert_eq!(first, second, "pinned steady state must be flat");
+    assert_eq!(
+        first, unpinned,
+        "a long-lived reader must not perturb the writer's warm profile \
+         ({first} vs {unpinned})"
+    );
+    // And the pinned version is still immutable through it all.
+    assert_eq!(reader.version(), pinned_version);
+    assert_eq!(reader.state(), pinned_state);
+    drop(reader);
+}

@@ -58,6 +58,11 @@ pub struct ServiceConfig {
     /// Worker threads of the shared simulation executor (all sessions'
     /// engines multiplex over this one pool).
     pub num_threads: usize,
+    /// Per-session cap on live view subscriptions
+    /// ([`crate::SessionHandle::subscribe`]); beyond it, subscriptions
+    /// are [`crate::ServiceError::Rejected`]. Dropping a subscription
+    /// frees its slot at the writer's next publication.
+    pub view_quota: usize,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +76,7 @@ impl Default for ServiceConfig {
             breaker_threshold: 3,
             breaker_window: Duration::from_secs(10),
             num_threads: qtask_taskflow::default_threads(),
+            view_quota: 8,
         }
     }
 }
@@ -118,6 +124,13 @@ impl ServiceConfig {
         self.num_threads = num_threads.max(1);
         self
     }
+
+    /// This config with the given per-session view-subscription quota
+    /// (at least 1).
+    pub fn with_view_quota(mut self, view_quota: usize) -> ServiceConfig {
+        self.view_quota = view_quota.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -136,12 +149,14 @@ mod tests {
             .with_inflight_quota(0)
             .with_default_deadline(Duration::from_millis(50))
             .with_breaker(0, Duration::from_secs(1))
-            .with_threads(0);
+            .with_threads(0)
+            .with_view_quota(0);
         assert_eq!(c.max_sessions, 2);
         assert_eq!(c.mailbox_capacity, 1); // clamped
         assert_eq!(c.inflight_quota, 1); // clamped
         assert_eq!(c.breaker_threshold, 1); // clamped
         assert_eq!(c.num_threads, 1); // clamped
+        assert_eq!(c.view_quota, 1); // clamped
         assert_eq!(c.default_deadline, Duration::from_millis(50));
     }
 }

@@ -43,13 +43,17 @@ mod backoff;
 mod config;
 mod error;
 mod manager;
+mod push;
 mod session;
 
 pub use backoff::BackoffSchedule;
 pub use config::{RetryPolicy, ServiceConfig};
 pub use error::ServiceError;
 pub use manager::SessionManager;
+pub use push::{RecvError, Subscription, ViewUpdate};
 pub use session::{EditOutcome, SessionHandle, SessionId, SessionReport, SessionState};
+// Convenience re-exports: subscribing needs the query/value vocabulary.
+pub use qtask_views::{ViewQuery, ViewReport, ViewValue};
 
 #[cfg(test)]
 mod tests {
@@ -265,6 +269,111 @@ mod tests {
         assert!(v >= 2);
         assert_eq!(h.snapshot().unwrap().amplitude(1).re, 1.0);
         assert_eq!(h.report().timeouts, 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn subscription_streams_updates_and_counts_maintenance() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(3, SimConfig::default()).unwrap();
+        let sub = h
+            .subscribe(ViewQuery::Marginal { qubits: vec![0] })
+            .unwrap();
+        // Primed from the baseline |000⟩ snapshot.
+        let first = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.value.as_vector().unwrap(), &[1.0, 0.0]);
+
+        h.edit(|tx| {
+            let net = tx.push_net();
+            tx.insert_gate(GateKind::H, net, &[0])?;
+            Ok(())
+        })
+        .unwrap();
+        let update = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(update.version > first.version);
+        let dist = update.value.as_vector().unwrap();
+        assert!((dist[0] - 0.5).abs() < 1e-10 && (dist[1] - 0.5).abs() < 1e-10);
+
+        let report = h.view_report().unwrap();
+        assert_eq!(report.views, 1);
+        assert!(report.full_refreshes >= 1, "priming rescans");
+        mgr.shutdown();
+        // Shutdown closes the channel; blocked receivers wake typed.
+        assert_eq!(
+            sub.recv_timeout(Duration::from_secs(5)).unwrap_err(),
+            RecvError::Closed
+        );
+    }
+
+    #[test]
+    fn view_quota_rejects_then_drop_frees_the_slot() {
+        let mgr = SessionManager::new(small_cfg().with_view_quota(1));
+        let h = mgr.open(2, SimConfig::default()).unwrap();
+        let sub = h.subscribe(ViewQuery::Norm).unwrap();
+        let err = h.subscribe(ViewQuery::Norm).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }), "{err}");
+        // Invalid queries are rejected without consuming quota.
+        let err = h
+            .subscribe(ViewQuery::Probability { basis: 1 << 10 })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }), "{err}");
+        drop(sub);
+        // The writer prunes closed subscriptions at the next touch.
+        assert!(h.subscribe(ViewQuery::Norm).is_ok());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn slow_subscriber_lags_to_latest_without_blocking_writer() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(2, SimConfig::default()).unwrap();
+        let sub = h.subscribe(ViewQuery::Probability { basis: 1 }).unwrap();
+        // Consume the primed baseline so lag counts only overwrites.
+        let _ = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        for _ in 0..4 {
+            h.edit(|tx| {
+                let net = tx.push_net();
+                tx.insert_gate(GateKind::X, net, &[0])?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        // Never consumed in between: the slot holds only the newest
+        // value, and the writer finished all four edits regardless.
+        let last = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(last.version, h.version());
+        assert_eq!(sub.lagged(), 3);
+        // 4 X gates: back to |00⟩, P(|01⟩) = 0.
+        assert_eq!(last.value.as_scalar().unwrap(), 0.0);
+        assert!(sub.try_recv().is_none());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn subscription_survives_writer_recovery() {
+        let mgr = SessionManager::new(small_cfg());
+        let h = mgr.open(3, SimConfig::default()).unwrap();
+        let sub = h.subscribe(ViewQuery::Norm).unwrap();
+        let first = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.value.as_scalar().unwrap(), 1.0);
+        // Kill the writer mid-request; the watchdog heals the engine and
+        // recovery re-primes every view from the republished snapshot.
+        let err = h.edit(|_| panic!("injected writer kill")).unwrap_err();
+        assert!(matches!(err, ServiceError::SessionPoisoned { .. }), "{err}");
+        let state = h.wait_for(
+            |s| matches!(s, SessionState::Recovered | SessionState::Failed),
+            Duration::from_secs(30),
+        );
+        assert_eq!(state, SessionState::Recovered);
+        h.edit(|tx| {
+            let net = tx.push_net();
+            tx.insert_gate(GateKind::H, net, &[1])?;
+            Ok(())
+        })
+        .unwrap();
+        let update = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(update.version, h.version());
+        assert!((update.value.as_scalar().unwrap() - 1.0).abs() < 1e-10);
         mgr.shutdown();
     }
 

@@ -112,12 +112,14 @@ impl SessionManager {
         inner.next_id += 1;
         let shared = Arc::new(Shared::new(id));
         let (tx, rx) = sync_channel(self.cfg.mailbox_capacity);
-        let ckt = Ckt::with_executor(num_qubits, sim_config, Arc::clone(&self.executor));
+        let mut ckt = Ckt::with_executor(num_qubits, sim_config, Arc::clone(&self.executor));
+        let views = crate::push::ViewFanout::attach(&mut ckt, self.cfg.view_quota);
         let supervisor = Supervisor {
             ckt,
             rx,
             shared: Arc::clone(&shared),
             cfg: Arc::clone(&self.cfg),
+            views,
         };
         let join = std::thread::Builder::new()
             .name(format!("qtask-session-{}", id.0))

@@ -11,9 +11,11 @@
 //! or a wedge.
 
 use crate::backoff::BackoffSchedule;
+use crate::push::{Subscription, ViewFanout};
 use crate::{ServiceConfig, ServiceError};
 use qtask_circuit::{Circuit, CircuitError};
 use qtask_core::{Ckt, EditReceipt, EditTxn, StateSnapshot};
+use qtask_views::{ViewQuery, ViewReport};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -353,6 +355,17 @@ pub(crate) enum Request {
     Inspect {
         reply: SyncSender<(Circuit, u64)>,
     },
+    /// Register an incremental view subscription on the writer's
+    /// registry (quota-checked and primed on the writer thread, so it
+    /// serializes naturally with publications).
+    Subscribe {
+        query: ViewQuery,
+        reply: SyncSender<Result<Subscription, ServiceError>>,
+    },
+    /// The session's view-maintenance counters.
+    ViewReport {
+        reply: SyncSender<ViewReport>,
+    },
     Close,
 }
 
@@ -367,6 +380,8 @@ impl Request {
             Request::Edit { .. } => "session/edit",
             Request::Sync { .. } => "session/sync",
             Request::Inspect { .. } => "session/inspect",
+            Request::Subscribe { .. } => "session/subscribe",
+            Request::ViewReport { .. } => "session/view_report",
             Request::Close => "session/close",
         }
     }
@@ -535,6 +550,35 @@ impl SessionHandle {
         )
     }
 
+    /// Subscribes to `query` as an incrementally maintained view: the
+    /// writer registers it on the session's [`qtask_views::ViewRegistry`],
+    /// primes it from the latest snapshot, and pushes a [`crate::ViewUpdate`]
+    /// after every publication — over a capacity-one overwrite-latest
+    /// channel, so a slow subscriber lags (counted) but never blocks the
+    /// writer.
+    ///
+    /// Fails with [`ServiceError::Rejected`] when the query is invalid
+    /// for the session's register or the per-session
+    /// [`ServiceConfig::view_quota`] is exhausted (dropping a
+    /// [`Subscription`] frees its slot at the writer's next publication).
+    pub fn subscribe(&self, query: ViewQuery) -> Result<Subscription, ServiceError> {
+        self.call(
+            |reply| Request::Subscribe { query, reply },
+            self.cfg.default_deadline,
+            self.shared.id.0,
+        )?
+    }
+
+    /// The session's view-maintenance counters ([`ViewReport`]): patches
+    /// vs full refreshes, blocks repatched vs rescanned.
+    pub fn view_report(&self) -> Result<ViewReport, ServiceError> {
+        self.call(
+            |reply| Request::ViewReport { reply },
+            self.cfg.default_deadline,
+            self.shared.id.0,
+        )
+    }
+
     /// A terminal-state error matching the session's current state.
     fn terminal_error(&self) -> ServiceError {
         match self.shared.state() {
@@ -633,6 +677,9 @@ pub(crate) struct Supervisor {
     pub(crate) rx: Receiver<Envelope>,
     pub(crate) shared: Arc<Shared>,
     pub(crate) cfg: Arc<ServiceConfig>,
+    /// View subscriptions: the registry attached to `ckt` plus the push
+    /// slot of each live subscriber.
+    pub(crate) views: ViewFanout,
 }
 
 impl Supervisor {
@@ -657,10 +704,11 @@ impl Supervisor {
         }
         loop {
             let exit = catch_unwind(AssertUnwindSafe(|| {
-                writer_loop(&mut self.ckt, &self.rx, &self.shared)
+                writer_loop(&mut self.ckt, &self.rx, &self.shared, &mut self.views)
             }));
             let reason = match exit {
                 Ok(LoopExit::Closed) => {
+                    self.views.close_all();
                     self.shared.set_state(SessionState::Closed);
                     return;
                 }
@@ -700,6 +748,10 @@ impl Supervisor {
                     if let Some(snap) = self.ckt.latest_snapshot() {
                         self.shared.publish(snap);
                     }
+                    // recover() carried the view registry across and
+                    // full-refreshed every view from the republished
+                    // snapshot; subscribers get the healed values now.
+                    self.views.push_all();
                     self.shared.set_state(SessionState::Recovered);
                     return true;
                 }
@@ -733,6 +785,7 @@ impl Supervisor {
             .store(true, Ordering::Relaxed);
         qtask_obs::counter!("service.breaker_tripped").inc();
         qtask_obs::event!("session/breaker_trip");
+        self.views.close_all();
         self.shared.set_state(SessionState::Failed);
         let failed = ServiceError::SessionFailed {
             session: self.shared.id,
@@ -745,9 +798,16 @@ impl Supervisor {
                 Request::Edit { reply, .. } => {
                     let _ = reply.send(Err(failed.clone()));
                 }
-                // Sync/Inspect replies are dropped: their callers get a
-                // disconnect, mapped to the session's terminal state.
-                Request::Sync { .. } | Request::Inspect { .. } | Request::Close => {}
+                Request::Subscribe { reply, .. } => {
+                    let _ = reply.send(Err(failed.clone()));
+                }
+                // Sync/Inspect/ViewReport replies are dropped: their
+                // callers get a disconnect, mapped to the session's
+                // terminal state.
+                Request::Sync { .. }
+                | Request::Inspect { .. }
+                | Request::ViewReport { .. }
+                | Request::Close => {}
             }
         }
         // Requests that never get consumed (the mailbox dies with this
@@ -784,7 +844,12 @@ fn attempt_recovery(ckt: &mut Ckt) -> Result<(), ServiceError> {
 /// panicking client closure, engine bug) drops the in-flight request —
 /// its caller observes [`ServiceError::SessionPoisoned`] — and routes to
 /// the quarantine path.
-fn writer_loop(ckt: &mut Ckt, rx: &Receiver<Envelope>, shared: &Shared) -> LoopExit {
+fn writer_loop(
+    ckt: &mut Ckt,
+    rx: &Receiver<Envelope>,
+    shared: &Shared,
+    views: &mut ViewFanout,
+) -> LoopExit {
     loop {
         let env = match rx.recv() {
             Ok(r) => r,
@@ -803,9 +868,20 @@ fn writer_loop(ckt: &mut Ckt, rx: &Receiver<Envelope>, shared: &Shared) -> LoopE
             Request::Inspect { reply } => {
                 let _ = reply.send((ckt.circuit().clone(), shared.version()));
             }
+            Request::Subscribe { query, reply } => {
+                let _ = reply.send(views.subscribe(ckt, shared.id, query));
+            }
+            Request::ViewReport { reply } => {
+                let _ = reply.send(views.report());
+            }
             Request::Edit { op, reply } => match apply_edit(ckt, op, shared) {
                 Ok(outcome) => {
                     shared.note_edit_ok();
+                    // The publish inside apply_edit already patched every
+                    // registered view (registry is an engine observer);
+                    // deliver the fresh readings before taking the next
+                    // request.
+                    views.push_all();
                     let _ = reply.send(Ok(outcome));
                 }
                 Err(e) => {

@@ -1,0 +1,83 @@
+//! Value and reporting types shared across the view layer.
+
+/// The current value of a materialized view.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViewValue {
+    /// A single number (norm, basis probability, expectation).
+    Scalar(f64),
+    /// A distribution (marginal probabilities).
+    Vector(Vec<f64>),
+}
+
+impl ViewValue {
+    /// The scalar payload, if this is a scalar view.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            ViewValue::Scalar(s) => Some(*s),
+            ViewValue::Vector(_) => None,
+        }
+    }
+
+    /// The vector payload, if this is a vector view.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            ViewValue::Scalar(_) => None,
+            ViewValue::Vector(v) => Some(v),
+        }
+    }
+}
+
+/// A view's value stamped with the snapshot version it reflects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewReading {
+    /// [`qtask_core::StateSnapshot::version`] the value was patched to.
+    pub version: u64,
+    /// The value at that version.
+    pub value: ViewValue,
+}
+
+/// What one [`crate::View::patch`] call cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PatchStats {
+    /// Block partials recomputed (the dirty set widened by any support
+    /// closure).
+    pub blocks_scanned: usize,
+}
+
+/// Why a patch was abandoned (the registry then degrades the view to a
+/// full refresh — never a stale read).
+#[derive(Clone, Debug)]
+pub enum PatchError {
+    /// A `views/patch` fault-injection probe fired.
+    Injected,
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::Injected => write!(f, "injected fault at views/patch"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Cumulative maintenance counters of one [`crate::ViewRegistry`] — the
+/// registry-local mirror of the global `views.*` metrics (the two are
+/// fed from the same values at the same instant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewReport {
+    /// Views currently registered.
+    pub views: usize,
+    /// Publications delivered to the registry.
+    pub publishes: u64,
+    /// Successful delta patches (one per view per publication).
+    pub patches: u64,
+    /// Block partials recomputed by those patches — the O(|Δ∩B|) work.
+    pub blocks_repatched: u64,
+    /// Block partials recomputed by full refreshes (fallback work).
+    pub blocks_rescanned: u64,
+    /// Full refreshes: version gaps, `full` deltas, failed or poisoned
+    /// patches.
+    pub full_refreshes: u64,
+}

@@ -74,6 +74,7 @@
 //! | [`taskflow`] | `qtask-taskflow` | work-stealing DAG executor |
 //! | [`qasm`] | `qtask-qasm` | OpenQASM 2.0 parser/writer |
 //! | [`service`] | `qtask-service` | supervised multi-session service |
+//! | [`views`] | `qtask-views` | DBSP-style incremental materialized views |
 //! | [`baselines`] | `qtask-baselines` | Qulacs-like / Qiskit-like / naive |
 //! | [`bench_circuits`] | `qtask-bench-circuits` | QASMBench-style generators |
 
@@ -88,6 +89,7 @@ pub use qtask_partition as partition;
 pub use qtask_qasm as qasm;
 pub use qtask_service as service;
 pub use qtask_taskflow as taskflow;
+pub use qtask_views as views;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -104,8 +106,12 @@ pub mod prelude {
     pub use qtask_num::{c64, Complex64};
     pub use qtask_obs::{MetricsSnapshot, NoopSpan, SpanGuard, TraceSink};
     pub use qtask_service::{
-        EditOutcome, ServiceConfig, ServiceError, SessionHandle, SessionId, SessionManager,
-        SessionReport, SessionState,
+        EditOutcome, RecvError, ServiceConfig, ServiceError, SessionHandle, SessionId,
+        SessionManager, SessionReport, SessionState, Subscription, ViewUpdate,
     };
     pub use qtask_taskflow::{Executor, TaskPanic, Taskflow};
+    pub use qtask_views::{
+        ExpectationView, MapView, NormView, ProbabilityView, SumView, View, ViewQuery, ViewReading,
+        ViewRegistry, ViewReport, ViewValue,
+    };
 }

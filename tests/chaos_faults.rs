@@ -38,7 +38,15 @@ fn scenario_config() -> SimConfig {
 }
 
 fn fresh_engine() -> Ckt {
-    Ckt::with_config(5, scenario_config())
+    let mut ckt = Ckt::with_config(5, scenario_config());
+    // A live incremental view puts view maintenance inside the chaos
+    // blast radius: every publication now crosses the `views/patch`
+    // probe. The handle is dropped on purpose — the slot stays
+    // registered for the engine's lifetime.
+    let registry = ViewRegistry::new();
+    registry.attach(&mut ckt);
+    registry.register(Box::new(ProbabilityView::marginal(vec![0, 1])));
+    ckt
 }
 
 /// Replays the engine's current circuit gate-at-a-time on a flat vector
@@ -118,6 +126,7 @@ const EXPECTED_SITES: &[&str] = &[
     "txn/commit_op",
     "txn/edit_begin",
     "txn/overlay_commit",
+    "views/patch",
 ];
 
 fn traced_sites() -> Vec<(String, u64)> {
@@ -296,11 +305,20 @@ fn seeded_poisoning_recovers_to_oracle() {
     for seed in 0..48u64 {
         let plan = FaultPlan::seeded(seed, &sites).expect("non-empty trace");
         let ctx = format!("seed {seed} -> {plan:?}");
+        let site = plan.site.clone();
         faults::arm(plan);
         let mut ckt = fresh_engine();
         let outcome = catch_unwind(AssertUnwindSafe(|| run_scenario(&mut ckt)));
         faults::disarm();
         match outcome {
+            // View patching contains its own unwinds by design — the
+            // view degrades to a full refresh and the scenario runs to
+            // completion. Every other site's unwind must not succeed.
+            Ok(Ok(())) if site == "views/patch" => {
+                assert!(!ckt.is_poisoned(), "{ctx}: contained view fault poisoned");
+                assert_eq!(ckt.audit(), vec![], "{ctx}: audit");
+                assert_close(&ckt.state(), &oracle_state(&ckt), &ctx);
+            }
             Ok(Ok(())) => unreachable!("{ctx}: unwind faults cannot succeed"),
             Ok(Err(_)) if ckt.is_poisoned() => {
                 poisonings += 1;
@@ -369,6 +387,57 @@ fn corruption_is_detected_at_publish() {
         assert_recovered_matches_oracles(&mut ckt, &ctx);
         let norm = ckt.try_norm_sqr().unwrap();
         assert!((norm - 1.0).abs() < EPS, "{ctx}: norm² {norm}");
+    }
+}
+
+/// A poisoned view patch — every kind the `views/patch` probe honors —
+/// degrades that one view to a full refresh: the reading still tracks
+/// the newly published version with oracle-exact values, the engine
+/// stays healthy, and the registry's report shows the refresh (and no
+/// successful patch) for that publication.
+#[test]
+fn poisoned_view_degrades_to_full_refresh_never_stale() {
+    let _guard = chaos_guard();
+    for kind in [FaultKind::Panic, FaultKind::AllocFail, FaultKind::Error] {
+        let ctx = format!("views/patch {kind:?}");
+        let mut ckt = Ckt::with_config(5, scenario_config());
+        let registry = ViewRegistry::new();
+        registry.attach(&mut ckt);
+        let view = registry.register(Box::new(ProbabilityView::marginal(vec![0, 2])));
+        let a = ckt.push_net();
+        ckt.insert_gate(GateKind::H, a, &[0]).unwrap();
+        ckt.insert_gate(GateKind::Cx, a, &[1, 2]).unwrap();
+        ckt.update_state().unwrap();
+        let before = registry.report();
+
+        // Fire at the first patch attempt of the next publication.
+        faults::arm(FaultPlan::first("views/patch", kind));
+        let b = ckt.insert_net_after(a).unwrap();
+        ckt.insert_gate(GateKind::Ry(0.7), b, &[2]).unwrap();
+        ckt.update_state()
+            .unwrap_or_else(|e| panic!("{ctx}: update failed: {e}"));
+        let summary = faults::disarm();
+        assert!(summary.fired, "{ctx}: patch probe never reached");
+
+        assert!(!ckt.is_poisoned(), "{ctx}: engine poisoned by view fault");
+        let snap = ckt.latest_snapshot().unwrap();
+        let reading = view.reading().expect("view has a reading");
+        assert_eq!(reading.version, snap.version(), "{ctx}: stale reading");
+        let got = reading.value.as_vector().unwrap();
+        let mut want = vec![0.0; 4];
+        for (m, p) in snap.probabilities().iter().enumerate() {
+            want[(m & 1) | ((m >> 2) & 1) << 1] += p;
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < EPS, "{ctx}[{i}]: got {g}, want {w}");
+        }
+        let after = registry.report();
+        assert_eq!(
+            after.full_refreshes,
+            before.full_refreshes + 1,
+            "{ctx}: fallback refresh not taken"
+        );
+        assert_eq!(after.patches, before.patches, "{ctx}: patch must not count");
     }
 }
 
